@@ -1,0 +1,44 @@
+"""Figure 10: impact of tree height on throughput and latency (§7.8).
+
+N=100, RTT=100 ms, bandwidth swept. Kauri with h=3 (fanout 5) roughly
+doubles the h=2 (fanout 10) throughput in bandwidth-bound regimes -- the
+root's sending time halves -- at a modest latency cost; HotStuff latency
+swings with bandwidth while Kauri's barely moves.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.analysis import fig10_tree_height, format_table
+
+
+def test_fig10_tree_height(benchmark, save_table):
+    data = run_once(benchmark, lambda: fig10_tree_height(scale=SCALE))
+    rows = []
+    for label, series in data.items():
+        for bw, ktx, lat_ms, saturated in series:
+            rows.append((label, bw, ktx, lat_ms, "SAT" if saturated else ""))
+    save_table(
+        "fig10",
+        format_table(
+            ("System", "Bandwidth (Mb/s)", "Ktx/s", "p50 latency (ms)", "CPU"),
+            rows,
+            title="Figure 10: N=100, RTT=100ms, tree heights",
+        ),
+    )
+
+    h2 = {bw: ktx for bw, ktx, _, _ in data["kauri-h2"]}
+    h3 = {bw: ktx for bw, ktx, _, _ in data["kauri-h3"]}
+    secp = {bw: ktx for bw, ktx, _, _ in data["hotstuff-secp"]}
+    lat_h2 = {bw: lat for bw, _, lat, _ in data["kauri-h2"]}
+    lat_h3 = {bw: lat for bw, _, lat, _ in data["kauri-h3"]}
+    lat_secp = {bw: lat for bw, _, lat, _ in data["hotstuff-secp"]}
+
+    # deeper trees raise throughput substantially in bandwidth-bound regimes
+    assert h3[25] > 1.4 * h2[25]
+    assert h3[50] > 1.4 * h2[50]
+    # at a modest latency cost (the paper: "only a modest impact")
+    assert lat_h3[25] < 2.5 * lat_h2[25]
+    # both tree heights beat HotStuff at low bandwidth
+    assert min(h2[25], h3[25]) > secp[25]
+    # HotStuff's latency varies with bandwidth far more than Kauri's (§7.8)
+    assert (lat_secp[25] / lat_secp[1000]) > 2 * (lat_h2[25] / lat_h2[1000])

@@ -1,0 +1,58 @@
+"""Figure 11: heterogeneous networks (§7.9).
+
+The ResilientDB-style deployment: N=60 across six geo-distributed
+clusters, leader and tree root in the best-connected cluster (Oregon),
+internal nodes beside their leaf nodes. Shapes: Kauri's throughput far
+exceeds every other system (the high inter-cluster RTT is exactly what
+pipelining hides); HotStuff's latency is lower at this small scale; and
+Kauri-np is the *worst* performer -- without pipelining the high RTT
+dominates the remaining time.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.analysis import fig11_heterogeneous, format_table
+
+
+def test_fig11_heterogeneous(benchmark, save_table):
+    results = run_once(benchmark, lambda: fig11_heterogeneous(scale=SCALE))
+    rows = [
+        (
+            r.mode,
+            round(r.throughput_txs / 1000.0, 2),
+            round(r.latency["p50"] * 1000.0, 0),
+            r.committed_blocks,
+        )
+        for r in results
+    ]
+    save_table(
+        "fig11",
+        format_table(
+            ("System", "Ktx/s", "p50 latency (ms)", "Blocks"),
+            rows,
+            title="Figure 11: ResilientDB scenario, N=60, 6 clusters",
+        ),
+    )
+
+    by_mode = {r.mode: r for r in results}
+    kauri = by_mode["kauri"].throughput_txs
+    # Kauri substantially outperforms all other systems (§7.9)
+    for mode in ("kauri-np", "hotstuff-secp", "hotstuff-bls"):
+        assert kauri > 2 * by_mode[mode].throughput_txs, mode
+    # Kauri-np sits with the HotStuff variants at the bottom: without
+    # pipelining the high inter-cluster RTT wipes out the tree's advantage
+    # (the paper finds it strictly worst; under our strict per-process
+    # uplink model the star variants are equally RTT+bandwidth bound, so
+    # the bottom three are within a small factor -- see EXPERIMENTS.md).
+    bottom = sorted(r.throughput_txs for r in results)[:3]
+    assert by_mode["kauri-np"].throughput_txs in bottom
+    assert by_mode["kauri-np"].throughput_txs < 0.25 * kauri
+    # Latency: the paper reports HotStuff ahead at this small scale with
+    # Kauri within ~2x. With the refined bottleneck-fanout pacing our Kauri
+    # avoids the queueing the paper's static stretch incurs and actually
+    # undercuts HotStuff; assert the paper-compatible bound (within ~2.5x
+    # either way), and record the direction in EXPERIMENTS.md.
+    assert (
+        by_mode["kauri"].latency["p50"]
+        < 2.5 * by_mode["hotstuff-bls"].latency["p50"]
+    )

@@ -1,0 +1,53 @@
+"""Figure 5: throughput vs pipelining stretch (§7.3).
+
+Global scenario, N=100, block sizes 50-250 KB. The paper's observations to
+reproduce: throughput rises with stretch to an optimum near the model's
+prediction, then degrades (over-pipelining); smaller blocks need larger
+stretch values.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.analysis import fig5_stretch_sweep, format_table
+from repro.config import GLOBAL, KB
+from repro.core.perfmodel import PerfModel
+from repro.crypto.costs import BLS_COSTS
+
+
+def test_fig5_throughput_vs_stretch(benchmark, save_table):
+    data = run_once(
+        benchmark,
+        lambda: fig5_stretch_sweep(
+            block_sizes_kb=(50, 100, 200, 250),
+            stretches=(0.5, 1, 1.5, 2, 3, 5, 8, 12),
+            scale=SCALE,
+        ),
+    )
+    rows = []
+    for kb, series in sorted(data.items()):
+        model = PerfModel.for_topology(100, 2, 10, GLOBAL, kb * KB, BLS_COSTS)
+        for stretch, ktx in series:
+            rows.append((f"{kb}KB", stretch, ktx, round(model.pipelining_stretch, 2)))
+    save_table(
+        "fig5",
+        format_table(
+            ("Block", "Stretch", "Throughput (Ktx/s)", "Model stretch"),
+            rows,
+            title="Figure 5: global, N=100",
+        ),
+    )
+
+    for kb, series in data.items():
+        by_stretch = dict(series)
+        best_stretch = max(series, key=lambda p: p[1])[0]
+        model = PerfModel.for_topology(100, 2, 10, GLOBAL, kb * KB, BLS_COSTS)
+        # the measured optimum lies in the model's neighbourhood ...
+        assert best_stretch <= 4 * max(1.0, model.pipelining_stretch)
+        # ... under-pipelining clearly loses to the optimum
+        assert by_stretch[0.5] < max(p[1] for p in series)
+
+    # §7.3: smaller blocks support their peak at higher stretch values
+    def peak_stretch(kb):
+        return max(data[kb], key=lambda p: p[1])[0]
+
+    assert peak_stretch(50) >= peak_stretch(250)

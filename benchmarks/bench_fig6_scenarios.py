@@ -1,0 +1,65 @@
+"""Figure 6: throughput across scenarios and system sizes (§7.4).
+
+The paper's headline figure. Shapes to reproduce:
+
+- Kauri wins everywhere; the advantage grows with N and with shrinking
+  bandwidth (up to 28x over HotStuff-secp at N=400, global).
+- Kauri-np (trees without pipelining, standing in for Motor/Omniledger)
+  beats HotStuff only in constrained-bandwidth scenarios with enough
+  nodes; pipelining is what makes trees pay off universally.
+- HotStuff-bls >= HotStuff-secp except on the fastest network, where the
+  CPU-heavier BLS operations bite.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.analysis import fig6_scenarios, format_table
+
+
+def test_fig6_throughput_across_scenarios(benchmark, save_table, bench_ns):
+    results = run_once(
+        benchmark, lambda: fig6_scenarios(ns=bench_ns, scale=SCALE)
+    )
+    rows = [
+        (
+            r.scenario,
+            r.n,
+            r.mode,
+            round(r.throughput_txs / 1000.0, 3),
+            round(r.latency["p50"], 2),
+            "SAT" if r.cpu_saturated else "",
+        )
+        for r in results
+    ]
+    save_table(
+        "fig6",
+        format_table(
+            ("Scenario", "N", "System", "Ktx/s", "p50 lat (s)", "CPU"),
+            rows,
+            title="Figure 6: throughput across scenarios",
+        ),
+    )
+
+    def tput(scenario, n, mode):
+        return next(
+            r.throughput_txs
+            for r in results
+            if r.scenario == scenario and r.n == n and r.mode == mode
+        )
+
+    for scenario in ("national", "regional", "global"):
+        for n in bench_ns:
+            # Kauri outperforms every baseline in every scenario (§7.4)
+            for baseline in ("kauri-np", "hotstuff-secp", "hotstuff-bls"):
+                assert tput(scenario, n, "kauri") > tput(scenario, n, baseline), (
+                    scenario, n, baseline,
+                )
+
+    # the Kauri advantage over HotStuff-secp grows with N (global scenario)
+    ratios = [tput("global", n, "kauri") / tput("global", n, "hotstuff-secp") for n in bench_ns]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 8  # paper: 28x at N=400; >=8x already at N=200
+
+    # Kauri-np beats HotStuff in the regional scenario at N >= 200 (§7.4)
+    if 200 in bench_ns:
+        assert tput("regional", 200, "kauri-np") > tput("regional", 200, "hotstuff-secp")

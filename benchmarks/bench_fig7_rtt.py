@@ -1,0 +1,38 @@
+"""Figure 7: effect of RTT on throughput (§7.5).
+
+Regional bandwidth (100 Mb/s), N=100, RTT swept 50-400 ms. Shape: HotStuff
+throughput decays as RTT grows; Kauri holds nearly constant because the
+model raises the pipelining stretch with the RTT (7 -> 33 in the paper).
+"""
+
+from conftest import SCALE, run_once
+
+from repro.analysis import fig7_rtt_sweep, format_table
+
+
+def test_fig7_rtt_sweep(benchmark, save_table):
+    data = run_once(benchmark, lambda: fig7_rtt_sweep(scale=SCALE))
+    rows = []
+    for mode, series in data.items():
+        for rtt, ktx, stretch in series:
+            rows.append((mode, rtt, ktx, stretch))
+    save_table(
+        "fig7",
+        format_table(
+            ("System", "RTT (ms)", "Ktx/s", "Model stretch"),
+            rows,
+            title="Figure 7: regional bandwidth, N=100, varying RTT",
+        ),
+    )
+
+    kauri = {rtt: ktx for rtt, ktx, _ in data["kauri"]}
+    hotstuff = {rtt: ktx for rtt, ktx, _ in data["hotstuff-secp"]}
+    # Kauri's throughput stays within a modest band across an 8x RTT range
+    assert kauri[400] > 0.6 * kauri[50]
+    # ... and beats HotStuff at every RTT
+    for rtt in kauri:
+        assert kauri[rtt] > hotstuff[rtt]
+    # the model's stretch grows with the RTT (paper: 7 -> 33)
+    stretches = [s for _, _, s in data["kauri"]]
+    assert stretches == sorted(stretches)
+    assert stretches[-1] > 2 * stretches[0]

@@ -1,0 +1,42 @@
+"""Figure 8: effect of bandwidth on latency (§7.6).
+
+RTT fixed at 100 ms, N=100, bandwidth swept 25-1000 Mb/s. Shape: HotStuff's
+latency is dominated by the leader's sending time at low bandwidth, so
+Kauri's tree wins below a crossover bandwidth; at high bandwidth HotStuff's
+two communication steps beat Kauri's 2h steps. The analytical
+infinite-bandwidth floors (HotStuff at best half of Kauri) are included.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.analysis import fig8_latency_bandwidth, format_table
+
+
+def test_fig8_latency_vs_bandwidth(benchmark, save_table):
+    data = run_once(benchmark, lambda: fig8_latency_bandwidth(scale=SCALE))
+    rows = []
+    for mode, series in sorted(data.items()):
+        for bw, latency_ms in series:
+            rows.append((mode, bw, latency_ms))
+    save_table(
+        "fig8",
+        format_table(
+            ("System", "Bandwidth (Mb/s)", "p50 latency (ms)"),
+            rows,
+            title="Figure 8: RTT=100ms, N=100, varying bandwidth",
+        ),
+    )
+
+    kauri = dict(data["kauri"])
+    secp = dict(data["hotstuff-secp"])
+    # bandwidth hits HotStuff much harder than Kauri (§7.6)
+    assert secp[25] / secp[1000] > 3 * (kauri[25] / kauri[1000])
+    # crossover: Kauri wins at 25 Mb/s, HotStuff wins at 1000 Mb/s
+    assert kauri[25] < secp[25]
+    assert secp[1000] < kauri[1000]
+    # analytical floor: with infinite bandwidth HotStuff's latency is at
+    # best half of Kauri's (one hop vs h=2 hops per sweep)
+    kauri_floor = data["kauri-infinite"][0][1]
+    secp_floor = data["hotstuff-secp-infinite"][0][1]
+    assert secp_floor < kauri_floor
+    assert secp_floor > 0.25 * kauri_floor

@@ -1,0 +1,38 @@
+"""Figure 9: throughput vs latency under varying load (§7.7).
+
+Global scenario, N=100, block sizes 32 KB - 1 MB (the paper's load knob).
+Shapes: Kauri's throughput dominates at every block size; latency grows
+with block size for everyone but much faster for the HotStuff variants,
+whose latency overtakes Kauri's beyond ~125 KB blocks.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.analysis import fig9_throughput_latency, format_table
+
+
+def test_fig9_throughput_vs_latency(benchmark, save_table):
+    data = run_once(benchmark, lambda: fig9_throughput_latency(scale=SCALE))
+    rows = []
+    for mode, series in data.items():
+        for kb, ktx, lat_ms in series:
+            rows.append((mode, kb, ktx, lat_ms))
+    save_table(
+        "fig9",
+        format_table(
+            ("System", "Block (KB)", "Ktx/s", "p50 latency (ms)"),
+            rows,
+            title="Figure 9: global, N=100, varying block size",
+        ),
+    )
+
+    kauri = {kb: (ktx, lat) for kb, ktx, lat in data["kauri"]}
+    secp = {kb: (ktx, lat) for kb, ktx, lat in data["hotstuff-secp"]}
+    for kb in kauri:
+        # Kauri's throughput substantially higher at every load (§7.7)
+        assert kauri[kb][0] > secp[kb][0]
+    # latency grows with block size for HotStuff ...
+    assert secp[1024][1] > secp[32][1]
+    # ... and overtakes Kauri for large blocks (paper: beyond ~125 KB)
+    assert secp[1024][1] > kauri[1024][1]
+    assert secp[500][1] > kauri[500][1]

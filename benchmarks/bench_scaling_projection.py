@@ -1,0 +1,67 @@
+"""Scaling projection to 1000 validators (§1's motivation).
+
+The paper opens with Diem's requirement to "initially support at least 100
+validators and ... evolve over time to support 500-1,000 validators". The
+simulator validates the §4.3 model up to N=400 (see
+bench_model_validation.py); this bench extends the *validated model* to
+N=1000 across systems and tree heights, reproducing the argument that only
+pipelined trees keep usable throughput at that scale -- and showing the
+paper's own remedy (§7.8: grow the tree height) kicking in.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.config import GLOBAL, KB, ProtocolConfig, default_root_fanout
+from repro.core.perfmodel import PerfModel
+from repro.crypto.costs import BLS_COSTS, SECP_COSTS
+
+SIZES = (100, 200, 400, 700, 1000)
+
+
+def project():
+    config = ProtocolConfig()
+    rows = []
+    for n in SIZES:
+        star = PerfModel.for_star(n, GLOBAL, config.block_size, SECP_COSTS)
+        entries = {
+            "hotstuff-secp": star.expected_throughput_txs(config),
+        }
+        for height in (2, 3):
+            fanout = default_root_fanout(n, height)
+            model = PerfModel.for_tree_shape(
+                n, height, fanout, GLOBAL, config.block_size, BLS_COSTS
+            )
+            entries[f"kauri-h{height}"] = model.expected_throughput_txs(config)
+        rows.append(
+            (
+                n,
+                round(entries["hotstuff-secp"], 1),
+                round(entries["kauri-h2"], 1),
+                round(entries["kauri-h3"], 1),
+                round(entries["kauri-h3"] / max(entries["hotstuff-secp"], 1e-9), 1),
+            )
+        )
+    return rows
+
+
+def test_scaling_projection_to_1000_validators(benchmark, save_table):
+    rows = run_once(benchmark, project)
+    save_table(
+        "scaling_projection",
+        format_table(
+            ("N", "HotStuff-secp tx/s", "Kauri h=2 tx/s", "Kauri h=3 tx/s",
+             "h=3 speedup"),
+            rows,
+            title="Model projection, global scenario, 250 KB blocks",
+        ),
+    )
+    by_n = {row[0]: row for row in rows}
+    # HotStuff collapses towards zero at 1000 validators
+    assert by_n[1000][1] < 0.1 * by_n[100][1]
+    # deeper trees recover throughput at scale (§7.8's remedy)
+    assert by_n[1000][3] > by_n[1000][2]
+    # the speedup keeps growing with N
+    speedups = [row[4] for row in rows]
+    assert speedups == sorted(speedups)
+    assert by_n[1000][4] > 50

@@ -1,0 +1,28 @@
+"""Table 2: performance-model parameters per scenario (§7.2).
+
+Processing / sending / remaining time, ideal pipelining stretch, and the
+expected speedup, for HotStuff-secp and Kauri across the §7.1 scenarios.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.analysis.tables import TABLE2_HEADERS, table2_rows
+
+
+def test_table2_model_parameters(benchmark, save_table):
+    rows = run_once(benchmark, table2_rows)
+    save_table("table2", format_table(TABLE2_HEADERS, rows, title="Table 2 (250 KB blocks)"))
+
+    def row(scenario, system, n):
+        return next(r for r in rows if r[:3] == (scenario, system, n))
+
+    # §4.3: max speedup 19.95 at N=400, fanout 20
+    assert abs(row("global", "kauri", 400)[7] - 19.95) < 0.1
+    # Kauri's sending time is an order of magnitude below HotStuff's
+    for scenario, n in (("national", 100), ("regional", 100), ("global", 400)):
+        assert row(scenario, "kauri", n)[4] < row(scenario, "hotstuff-secp", n)[4] / 5
+    # the expected speedup grows with N in the global scenario (§7.4)
+    speedups = [row("global", "kauri", n)[8] for n in (100, 200, 400)]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 15  # paper: ~30 predicted, 28.2 observed

@@ -1,0 +1,52 @@
+"""Shared benchmark configuration.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE`` (float, default 1.0): uniformly shrinks simulation
+  horizons and commit budgets. 0.2 gives a quick smoke pass; 1.0 runs the
+  evaluation at meaningful statistical depth.
+- ``REPRO_BENCH_FULL_N`` (set to 1): include N=400 points where the default
+  grid stops at N=200 to bound wall-clock time.
+
+Every bench prints the paper-style table it regenerates and also writes it
+to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference the
+exact rows.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+FULL_N = os.environ.get("REPRO_BENCH_FULL_N", "") not in ("", "0")
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def scale():
+    return SCALE
+
+
+@pytest.fixture
+def bench_ns():
+    """System sizes for size sweeps (paper: 100/200/400)."""
+    return (100, 200, 400) if FULL_N else (100, 200)
+
+
+@pytest.fixture
+def save_table():
+    def _save(name: str, text: str) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print("\n" + text)
+        return str(path)
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Compare Kauri against HotStuff across the paper's deployment scenarios.
+
+A miniature of Figure 6 (§7.4): all four systems in the national, regional
+and global scenarios at N=31, printing throughput and latency side by
+side. Expect Kauri on top everywhere, with the gap widening as bandwidth
+shrinks; expect Kauri-np (trees without pipelining) to beat HotStuff only
+when bandwidth is scarce.
+
+Run:  python examples/scenario_comparison.py      (~1 minute)
+"""
+
+from repro import run_experiment
+from repro.analysis import adaptive_duration, format_table
+from repro.config import KB, SCENARIOS
+
+MODES = ("kauri", "kauri-np", "hotstuff-secp", "hotstuff-bls")
+N = 31
+
+
+def main() -> None:
+    rows = []
+    for scenario, params in SCENARIOS.items():
+        for mode in MODES:
+            duration = adaptive_duration(
+                mode, N, params, 250 * KB, instances=6.0, scale=0.5
+            )
+            result = run_experiment(
+                mode=mode,
+                scenario=scenario,
+                n=N,
+                duration=duration,
+                max_commits=60,
+                seed=0,
+            )
+            rows.append(
+                (
+                    scenario,
+                    mode,
+                    round(result.throughput_txs, 0),
+                    round(result.latency["p50"] * 1000, 0),
+                    "yes" if result.cpu_saturated else "",
+                )
+            )
+    print(
+        format_table(
+            ("Scenario", "System", "Throughput (tx/s)", "p50 latency (ms)", "CPU-bound"),
+            rows,
+            title=f"Scenario comparison, N={N}, 250 KB blocks",
+        )
+    )
+    kauri_global = next(r[2] for r in rows if r[:2] == ("global", "kauri"))
+    hotstuff_global = next(r[2] for r in rows if r[:2] == ("global", "hotstuff-secp"))
+    print(
+        f"\nKauri / HotStuff-secp throughput in the global scenario: "
+        f"{kauri_global / hotstuff_global:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

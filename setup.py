@@ -1,0 +1,9 @@
+"""Setup shim for legacy editable installs on offline hosts without `wheel`.
+
+Use: pip install -e . --no-build-isolation --no-use-pep517
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

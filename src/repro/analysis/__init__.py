@@ -1,0 +1,46 @@
+"""Generators for every table and figure of the paper's evaluation (§7).
+
+Each ``figN_*`` function runs the relevant deployments and returns
+structured rows; each has a matching formatter producing the same
+rows/series the paper reports. The benchmark harness under ``benchmarks/``
+wraps these one-to-one, and EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import table1_rows, table2_rows
+from repro.analysis.pipeline_viz import (
+    InstanceSpan,
+    extract_spans,
+    max_concurrency,
+    render_gantt,
+)
+from repro.analysis.figures import (
+    adaptive_duration,
+    fig5_stretch_sweep,
+    fig6_scenarios,
+    fig7_rtt_sweep,
+    fig8_latency_bandwidth,
+    fig9_throughput_latency,
+    fig10_tree_height,
+    fig11_heterogeneous,
+    fig12_reconfiguration,
+)
+
+__all__ = [
+    "format_table",
+    "table1_rows",
+    "table2_rows",
+    "InstanceSpan",
+    "extract_spans",
+    "render_gantt",
+    "max_concurrency",
+    "adaptive_duration",
+    "fig5_stretch_sweep",
+    "fig6_scenarios",
+    "fig7_rtt_sweep",
+    "fig8_latency_bandwidth",
+    "fig9_throughput_latency",
+    "fig10_tree_height",
+    "fig11_heterogeneous",
+    "fig12_reconfiguration",
+]

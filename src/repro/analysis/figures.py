@@ -1,0 +1,406 @@
+"""Figure generators: one function per evaluation figure (§7.3-§7.10).
+
+Every function runs real deployments and returns the same series the
+paper plots. Simulation horizons adapt to each configuration's expected
+instance latency (slow configurations need longer windows to commit a
+meaningful number of blocks; fast ones are capped by ``max_commits`` so the
+event count stays bounded). ``scale`` < 1.0 shrinks horizons uniformly for
+quick smoke runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import (
+    GLOBAL,
+    KB,
+    NATIONAL,
+    REGIONAL,
+    NetworkParams,
+    ProtocolConfig,
+    default_root_fanout,
+    max_faults,
+    mbps,
+    ms,
+    resilientdb_clusters,
+)
+from repro.core.modes import mode_spec
+from repro.core.perfmodel import PerfModel
+from repro.crypto.costs import BLS_COSTS, SECP_COSTS
+from repro.runtime.experiment import ExperimentResult, run_experiment
+
+_COSTS = {"bls": BLS_COSTS, "secp": SECP_COSTS}
+
+
+def _model_for(mode: str, n: int, params: NetworkParams, block_size: int, height: int = 2) -> PerfModel:
+    spec = mode_spec(mode)
+    costs = _COSTS[spec.scheme]
+    if spec.uses_tree:
+        fanout = default_root_fanout(n, height)
+        return PerfModel.for_tree_shape(n, height, fanout, params, block_size, costs)
+    return PerfModel.for_star(n, params, block_size, costs)
+
+
+def adaptive_duration(
+    mode: str,
+    n: int,
+    params: NetworkParams,
+    block_size: int,
+    height: int = 2,
+    min_duration: float = 30.0,
+    instances: float = 8.0,
+    scale: float = 1.0,
+) -> float:
+    """Simulated horizon long enough for ``instances`` full instances."""
+    model = _model_for(mode, n, params, block_size, height)
+    return scale * max(min_duration, instances * model.instance_latency())
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: throughput vs pipelining stretch (§7.3)
+# ---------------------------------------------------------------------------
+def fig5_stretch_sweep(
+    block_sizes_kb: Sequence[int] = (50, 100, 200, 250),
+    stretches: Sequence[float] = (1, 2, 4, 6, 8, 12, 16, 20),
+    n: int = 100,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Dict[int, List[Tuple[float, float]]]:
+    """Global scenario, N=100: throughput (Ktx/s) per stretch per block size."""
+    out: Dict[int, List[Tuple[float, float]]] = {}
+    for kb in block_sizes_kb:
+        series = []
+        for stretch in stretches:
+            duration = adaptive_duration("kauri", n, GLOBAL, kb * KB, scale=scale)
+            result = run_experiment(
+                mode="kauri",
+                scenario="global",
+                n=n,
+                block_size=kb * KB,
+                stretch=float(stretch),
+                duration=duration,
+                max_commits=int(200 * scale) or 20,
+                seed=seed,
+            )
+            series.append((float(stretch), result.throughput_txs / 1000.0))
+        out[kb] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: throughput across scenarios and system sizes (§7.4)
+# ---------------------------------------------------------------------------
+def fig6_scenarios(
+    scenarios: Sequence[str] = ("national", "regional", "global"),
+    ns: Sequence[int] = (100, 200, 400),
+    modes: Sequence[str] = ("kauri", "kauri-np", "hotstuff-secp", "hotstuff-bls"),
+    scale: float = 1.0,
+    seed: int = 0,
+) -> List[ExperimentResult]:
+    """The paper's headline grid: every system in every scenario at every
+    size, 250 KB blocks, model-driven stretch for Kauri."""
+    from repro.config import SCENARIOS
+
+    results = []
+    for scenario in scenarios:
+        params = SCENARIOS[scenario]
+        for n in ns:
+            for mode in modes:
+                duration = adaptive_duration(
+                    mode, n, params, 250 * KB, scale=scale
+                )
+                results.append(
+                    run_experiment(
+                        mode=mode,
+                        scenario=scenario,
+                        n=n,
+                        duration=duration,
+                        max_commits=int(150 * scale) or 15,
+                        seed=seed,
+                    )
+                )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: throughput vs RTT (§7.5)
+# ---------------------------------------------------------------------------
+def fig7_rtt_sweep(
+    rtts_ms: Sequence[int] = (50, 100, 200, 300, 400),
+    modes: Sequence[str] = ("kauri", "hotstuff-secp"),
+    n: int = 100,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Dict[str, List[Tuple[int, float, float]]]:
+    """Regional bandwidth (100 Mb/s), varying RTT: (rtt_ms, Ktx/s, stretch)."""
+    out: Dict[str, List[Tuple[int, float, float]]] = {mode: [] for mode in modes}
+    for rtt in rtts_ms:
+        params = REGIONAL.with_rtt(ms(rtt))
+        for mode in modes:
+            model = _model_for(mode, n, params, 250 * KB)
+            duration = adaptive_duration(mode, n, params, 250 * KB, scale=scale)
+            result = run_experiment(
+                mode=mode,
+                scenario=params,
+                n=n,
+                duration=duration,
+                max_commits=int(150 * scale) or 15,
+                seed=seed,
+            )
+            out[mode].append(
+                (rtt, result.throughput_txs / 1000.0, round(model.pipelining_stretch, 1))
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: latency vs bandwidth (§7.6)
+# ---------------------------------------------------------------------------
+def fig8_latency_bandwidth(
+    bandwidths_mbps: Sequence[int] = (25, 50, 100, 1000),
+    modes: Sequence[str] = ("kauri", "hotstuff-secp", "hotstuff-bls"),
+    n: int = 100,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """RTT fixed at 100 ms, bandwidth swept: (bandwidth, p50 latency ms).
+
+    Includes the paper's analytical infinite-bandwidth floor as the
+    ``"<mode>-infinite"`` entries.
+    """
+    out: Dict[str, List[Tuple[float, float]]] = {mode: [] for mode in modes}
+    for bw in bandwidths_mbps:
+        params = NetworkParams(f"bw{bw}", rtt=ms(100), bandwidth_bps=mbps(bw))
+        for mode in modes:
+            duration = adaptive_duration(mode, n, params, 250 * KB, scale=scale)
+            result = run_experiment(
+                mode=mode,
+                scenario=params,
+                n=n,
+                duration=duration,
+                max_commits=int(100 * scale) or 10,
+                seed=seed,
+            )
+            out[mode].append((float(bw), result.latency["p50"] * 1000.0))
+    # Analytical floor: zero sending time, pure RTT + processing.
+    import math
+
+    inf_params = NetworkParams("inf", rtt=ms(100), bandwidth_bps=math.inf)
+    for mode in modes:
+        model = _model_for(mode, n, inf_params, 250 * KB)
+        out[f"{mode}-infinite"] = [(math.inf, model.instance_latency() * 1000.0)]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: throughput vs latency under varying load (§7.7)
+# ---------------------------------------------------------------------------
+def fig9_throughput_latency(
+    block_sizes_kb: Sequence[int] = (32, 64, 125, 250, 500, 1024),
+    modes: Sequence[str] = ("kauri", "hotstuff-secp", "hotstuff-bls"),
+    n: int = 100,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Dict[str, List[Tuple[int, float, float]]]:
+    """Global scenario: (block_kb, Ktx/s, p50 latency ms) per mode; Kauri's
+    stretch follows the model per block size (§7.7)."""
+    out: Dict[str, List[Tuple[int, float, float]]] = {mode: [] for mode in modes}
+    for kb in block_sizes_kb:
+        for mode in modes:
+            duration = adaptive_duration(mode, n, GLOBAL, kb * KB, scale=scale)
+            result = run_experiment(
+                mode=mode,
+                scenario="global",
+                n=n,
+                block_size=kb * KB,
+                duration=duration,
+                max_commits=int(150 * scale) or 15,
+                seed=seed,
+            )
+            out[mode].append(
+                (kb, result.throughput_txs / 1000.0, result.latency["p50"] * 1000.0)
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: impact of tree height (§7.8)
+# ---------------------------------------------------------------------------
+def fig10_tree_height(
+    bandwidths_mbps: Sequence[int] = (25, 50, 100, 1000),
+    n: int = 100,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Dict[str, List[Tuple[float, float, float, bool]]]:
+    """RTT=100 ms: Kauri h=2 (f=10) vs h=3 (f=5) vs HotStuff variants.
+    Rows: (bandwidth, Ktx/s, p50 latency ms, cpu_saturated)."""
+    systems = [
+        ("kauri-h2", "kauri", 2),
+        ("kauri-h3", "kauri", 3),
+        ("hotstuff-secp", "hotstuff-secp", 1),
+        ("hotstuff-bls", "hotstuff-bls", 1),
+    ]
+    out: Dict[str, List[Tuple[float, float, float, bool]]] = {
+        label: [] for label, _, _ in systems
+    }
+    for bw in bandwidths_mbps:
+        params = NetworkParams(f"bw{bw}", rtt=ms(100), bandwidth_bps=mbps(bw))
+        for label, mode, height in systems:
+            duration = adaptive_duration(
+                mode, n, params, 250 * KB, height=max(height, 1), scale=scale
+            )
+            result = run_experiment(
+                mode=mode,
+                scenario=params,
+                n=n,
+                height=max(height, 2) if mode_spec(mode).uses_tree else 2,
+                duration=duration,
+                max_commits=int(150 * scale) or 15,
+                seed=seed,
+            )
+            out[label].append(
+                (
+                    float(bw),
+                    result.throughput_txs / 1000.0,
+                    result.latency["p50"] * 1000.0,
+                    result.cpu_saturated,
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: heterogeneous networks (§7.9)
+# ---------------------------------------------------------------------------
+def fig11_heterogeneous(
+    modes: Sequence[str] = ("kauri", "kauri-np", "hotstuff-secp", "hotstuff-bls"),
+    per_cluster: int = 10,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> List[ExperimentResult]:
+    """The ResilientDB deployment: N=60 over six geo clusters."""
+    clusters = resilientdb_clusters(per_cluster=per_cluster)
+    results = []
+    for mode in modes:
+        duration = scale * 120.0
+        results.append(
+            run_experiment(
+                mode=mode,
+                scenario=clusters,
+                n=clusters.n,
+                duration=duration,
+                max_commits=int(200 * scale) or 20,
+                seed=seed,
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: reconfiguration under faults (§7.10)
+# ---------------------------------------------------------------------------
+@dataclass
+class ReconfigRun:
+    """One Figure 12 sub-experiment."""
+
+    label: str
+    mode: str
+    fault_time: float
+    faulty: List[int]
+    timeseries: List[Tuple[float, float]]
+    recovery_gap: Optional[float]
+    max_view: int
+    final_is_star: bool
+    prefault_txs: float
+    postfault_txs: float
+
+
+def fig12_reconfiguration(
+    case: str,
+    mode: str = "kauri",
+    n: int = 100,
+    scenario: str = "global",
+    fault_time: float = 40.0,
+    duration: float = 100.0,
+    bucket: float = 2.0,
+    seed: int = 0,
+) -> ReconfigRun:
+    """Inject §7.10's fault patterns and record the throughput time series.
+
+    ``case`` is one of:
+
+    - ``"leader"`` -- one faulty leader (Fig. 12a);
+    - ``"three-leaders"`` -- three consecutive faulty leaders (Fig. 12b);
+    - ``"internal+leaders"`` -- f faulty processes placed to poison every
+      bin and then the first star leaders, forcing the full m+f+1 walk
+      (Fig. 12c, "Kauri internal+leaders");
+    - ``"f-leaders"`` -- f consecutive tree roots / star leaders (Fig. 12c,
+      "Kauri leaders").
+    """
+    from repro.runtime.cluster import Cluster
+
+    cluster = Cluster(n=n, mode=mode, scenario=scenario, seed=seed)
+    policy = cluster.policy
+    f = cluster.f
+    faulty: List[int] = []
+
+    def add(node: int) -> None:
+        if node not in faulty and len(faulty) < f:
+            faulty.append(node)
+
+    if case == "leader":
+        add(policy.leader_of(0))
+    elif case == "three-leaders":
+        for view in range(3):
+            add(policy.leader_of(view))
+    elif case == "f-leaders":
+        view = 0
+        cycle = getattr(policy, "num_bins", 0) + n
+        while len(faulty) < f and view < 2 * cycle:
+            add(policy.leader_of(view))
+            view += 1
+    elif case == "internal+leaders":
+        # The paper's worst case (§7.10): faulty processes block every tree
+        # configuration (as internal nodes -- the root is an internal node
+        # too, and one faulty root blocks its whole tree) and then serve as
+        # the first star leaders, forcing the full m + f + 1 walk. A single
+        # non-root internal node cannot block a tree here: its subtree only
+        # cuts ~n/m processes, leaving the N-f quorum intact -- blocking
+        # via non-root internals costs ~4 faults per tree, which exceeds
+        # the f budget across all bins, so roots are the binding choice.
+        m = getattr(policy, "num_bins", 0)
+        for view in range(m):
+            add(policy.configuration(view).root)
+        view = m
+        while len(faulty) < f and view < m + n:
+            add(policy.leader_of(view))
+            view += 1
+    else:
+        raise ValueError(f"unknown case {case!r}")
+
+    for node in faulty:
+        cluster.crash_at(node, fault_time)
+    cluster.start()
+    cluster.run(duration=duration)
+    cluster.check_agreement()
+
+    metrics = cluster.metrics
+    max_view = metrics.max_view
+    final = policy.configuration(max_view)
+    recovery = metrics.commit_gap_after(fault_time)
+    return ReconfigRun(
+        label=case,
+        mode=mode,
+        fault_time=fault_time,
+        faulty=faulty,
+        timeseries=metrics.timeseries_txs(bucket=bucket),
+        recovery_gap=recovery,
+        max_view=max_view,
+        final_is_star=final.is_star,
+        prefault_txs=metrics.throughput_txs(start=fault_time * 0.25, end=fault_time),
+        postfault_txs=metrics.throughput_txs(
+            start=fault_time + (recovery or 0.0), end=duration
+        ),
+    )

@@ -1,0 +1,420 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``    -- run one deployment and print (or emit as JSON) its metrics.
+- ``model``  -- evaluate the §4.3 performance model for a deployment.
+- ``tune``   -- automatic configuration search (§8 future work).
+- ``table``  -- regenerate Table 1 or Table 2.
+- ``fig``    -- regenerate an evaluation figure's series (fig5..fig12).
+
+Examples::
+
+    python -m repro run --mode kauri --scenario global --n 100 --duration 60
+    python -m repro model --n 400 --scenario global
+    python -m repro tune --n 400 --scenario global --objective throughput
+    python -m repro table 2
+    python -m repro fig 12a
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.config import KB, SCENARIOS, ProtocolConfig, resilientdb_clusters
+
+
+def _add_run_parser(subparsers) -> None:
+    p = subparsers.add_parser("run", help="run one deployment")
+    p.add_argument("--mode", default="kauri",
+                   choices=["kauri", "kauri-np", "kauri-secp",
+                            "hotstuff-secp", "hotstuff-bls", "pbft"])
+    p.add_argument("--scenario", default="global",
+                   choices=[*SCENARIOS, "heterogeneous"])
+    p.add_argument("--n", type=int, default=100)
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--max-commits", type=int, default=None)
+    p.add_argument("--block-size-kb", type=int, default=250)
+    p.add_argument("--stretch", type=float, default=None,
+                   help="pipelining stretch; default follows the model")
+    p.add_argument("--adaptive-stretch", action="store_true",
+                   help="adapt the stretch at runtime (§6 future work)")
+    p.add_argument("--height", type=int, default=2)
+    p.add_argument("--lanes", type=int, default=1, help="uplink lanes per process")
+    p.add_argument("--crash-leader-at", type=float, default=None,
+                   help="crash the view-0 leader at this time")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="emit the result as JSON")
+
+
+def _cmd_run(args) -> int:
+    from repro.runtime.cluster import Cluster
+    from repro.runtime.experiment import run_experiment
+
+    scenario = (
+        resilientdb_clusters() if args.scenario == "heterogeneous" else args.scenario
+    )
+    crashes = []
+    if args.crash_leader_at is not None:
+        probe = Cluster(
+            n=None if args.scenario == "heterogeneous" else args.n,
+            mode=args.mode,
+            scenario=scenario,
+        )
+        crashes = [(probe.policy.leader_of(0), args.crash_leader_at)]
+    config = ProtocolConfig(
+        block_size=args.block_size_kb * KB,
+        stretch=args.stretch,
+        adaptive_stretch=args.adaptive_stretch,
+    )
+    result = run_experiment(
+        mode=args.mode,
+        scenario=scenario,
+        n=None if args.scenario == "heterogeneous" else args.n,
+        duration=args.duration,
+        max_commits=args.max_commits,
+        height=args.height,
+        seed=args.seed,
+        config=config,
+        crashes=crashes,
+        uplink_lanes=args.lanes,
+    )
+    if args.json:
+        print(json.dumps(dataclasses.asdict(result), indent=2, default=str))
+        return 0
+    print(f"mode={result.mode} scenario={result.scenario} n={result.n}")
+    print(f"simulated {result.duration:.1f}s, committed {result.committed_blocks} blocks")
+    print(f"throughput : {result.throughput_txs:,.0f} tx/s "
+          f"({result.throughput_blocks:.2f} blocks/s)")
+    print(f"latency    : p50 {result.latency['p50']:.3f}s, "
+          f"p95 {result.latency['p95']:.3f}s")
+    print(f"view changes: {result.view_changes} (max view {result.max_view})")
+    if result.cpu_saturated:
+        print("NOTE: leader CPU saturated "
+              f"(utilization {result.leader_cpu_utilization:.0%})")
+    return 0
+
+
+def _add_model_parser(subparsers) -> None:
+    p = subparsers.add_parser("model", help="evaluate the §4.3 performance model")
+    p.add_argument("--n", type=int, default=100)
+    p.add_argument("--scenario", default="global", choices=list(SCENARIOS))
+    p.add_argument("--block-size-kb", type=int, default=250)
+    p.add_argument("--lanes", type=int, default=1)
+
+
+def _cmd_model(args) -> int:
+    from repro.config import default_root_fanout
+    from repro.core.perfmodel import PerfModel
+    from repro.crypto.costs import BLS_COSTS, SECP_COSTS
+
+    params = SCENARIOS[args.scenario]
+    block = args.block_size_kb * KB
+    rows = []
+    systems = [("hotstuff-secp (star)", 1, args.n - 1, SECP_COSTS)]
+    for height in (2, 3):
+        try:
+            fanout = default_root_fanout(args.n, height)
+            systems.append((f"kauri h={height}", height, fanout, BLS_COSTS))
+        except Exception:
+            continue
+    for label, height, fanout, costs in systems:
+        try:
+            model = PerfModel.for_tree_shape(
+                args.n, height, fanout, params, block, costs
+            ) if height > 1 else PerfModel.for_star(args.n, params, block, costs)
+        except Exception:
+            continue
+        rows.append(
+            (
+                label,
+                fanout,
+                round(model.sending_time * 1000, 1),
+                round(model.processing_time * 1000, 1),
+                round(model.remaining_time * 1000, 1),
+                round(model.pipelining_stretch, 1),
+                round(model.max_speedup, 1),
+                round(model.instance_latency() * 1000, 0),
+            )
+        )
+    print(
+        format_table(
+            ("System", "Fanout", "Send (ms)", "Proc (ms)", "Remain (ms)",
+             "Stretch", "Max speedup", "Instance lat (ms)"),
+            rows,
+            title=f"Performance model: N={args.n}, {args.scenario}, "
+                  f"{args.block_size_kb} KB blocks",
+        )
+    )
+    return 0
+
+
+def _add_tune_parser(subparsers) -> None:
+    p = subparsers.add_parser("tune", help="automatic configuration search")
+    p.add_argument("--n", type=int, default=100)
+    p.add_argument("--scenario", default="global",
+                   choices=[*SCENARIOS, "heterogeneous"])
+    p.add_argument("--objective", default="throughput",
+                   choices=["throughput", "latency", "balanced"])
+    p.add_argument("--block-size-kb", type=int, default=250)
+
+
+def _cmd_tune(args) -> int:
+    from repro.core.autotune import tune_heterogeneous, tune_homogeneous
+
+    config = ProtocolConfig(block_size=args.block_size_kb * KB)
+    if args.scenario == "heterogeneous":
+        placement = tune_heterogeneous(resilientdb_clusters(), config=config)
+        print(f"leader cluster : {placement.leader_cluster}")
+        print(f"tree root      : process {placement.tree.root}")
+        print(f"stretch        : {placement.stretch:.1f}")
+        print(f"expected round : {placement.expected_round_time * 1000:.0f} ms")
+        return 0
+    best = tune_homogeneous(
+        args.n, SCENARIOS[args.scenario], config=config, objective=args.objective
+    )
+    print(f"recommended    : {best.describe()}")
+    print(f"objective      : {args.objective}")
+    return 0
+
+
+def _add_table_parser(subparsers) -> None:
+    p = subparsers.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", choices=["1", "2"])
+    p.add_argument("--n", type=int, default=100)
+
+
+def _cmd_table(args) -> int:
+    from repro.analysis.tables import (
+        TABLE1_HEADERS,
+        TABLE2_HEADERS,
+        table1_rows,
+        table2_rows,
+    )
+
+    if args.number == "1":
+        print(format_table(TABLE1_HEADERS, table1_rows(n=args.n), title="Table 1"))
+    else:
+        print(format_table(TABLE2_HEADERS, table2_rows(), title="Table 2"))
+    return 0
+
+
+FIG_CHOICES = ["3", "5", "7", "8", "9", "10", "11", "12a", "12b", "12c"]
+
+
+def _add_fig_parser(subparsers) -> None:
+    p = subparsers.add_parser("fig", help="regenerate an evaluation figure")
+    p.add_argument("figure", choices=FIG_CHOICES)
+    p.add_argument("--scale", type=float, default=0.3,
+                   help="horizon scale; 1.0 = benchmark depth (default 0.3)")
+
+
+def _cmd_fig(args) -> int:
+    from repro.analysis import (
+        fig5_stretch_sweep,
+        fig7_rtt_sweep,
+        fig8_latency_bandwidth,
+        fig9_throughput_latency,
+        fig10_tree_height,
+        fig11_heterogeneous,
+        fig12_reconfiguration,
+    )
+
+    scale = args.scale
+    if args.figure == "3":
+        from repro.analysis import extract_spans, max_concurrency, render_gantt
+        from repro.net.trace import MessageTrace
+        from repro.runtime.cluster import Cluster
+
+        for mode in ("kauri", "hotstuff-bls", "kauri-np"):
+            cluster = Cluster(n=31, mode=mode, scenario="regional")
+            trace = MessageTrace(capacity=300_000)
+            cluster.network.observers.append(trace)
+            cluster.start()
+            cluster.run(duration=60.0 * max(scale, 0.2), max_commits=30)
+            spans = extract_spans(trace, cluster.policy.leader_of(0))
+            print(f"\n--- {mode} (peak in-flight: {max_concurrency(spans)}) ---")
+            print(render_gantt(spans[2:], max_rows=8))
+        return 0
+    if args.figure == "5":
+        data = fig5_stretch_sweep(scale=scale)
+        rows = [
+            (f"{kb}KB", stretch, ktx)
+            for kb, series in sorted(data.items())
+            for stretch, ktx in series
+        ]
+        print(format_table(("Block", "Stretch", "Ktx/s"), rows, title="Figure 5"))
+    elif args.figure == "7":
+        data = fig7_rtt_sweep(scale=scale)
+        rows = [
+            (mode, rtt, ktx, stretch)
+            for mode, series in data.items()
+            for rtt, ktx, stretch in series
+        ]
+        print(format_table(("System", "RTT (ms)", "Ktx/s", "Stretch"), rows,
+                           title="Figure 7"))
+    elif args.figure == "8":
+        data = fig8_latency_bandwidth(scale=scale)
+        rows = [
+            (mode, bw, lat)
+            for mode, series in sorted(data.items())
+            for bw, lat in series
+        ]
+        print(format_table(("System", "Mb/s", "p50 latency (ms)"), rows,
+                           title="Figure 8"))
+    elif args.figure == "9":
+        data = fig9_throughput_latency(scale=scale)
+        rows = [
+            (mode, kb, ktx, lat)
+            for mode, series in data.items()
+            for kb, ktx, lat in series
+        ]
+        print(format_table(("System", "Block (KB)", "Ktx/s", "p50 lat (ms)"),
+                           rows, title="Figure 9"))
+    elif args.figure == "10":
+        data = fig10_tree_height(scale=scale)
+        rows = [
+            (label, bw, ktx, lat, "SAT" if sat else "")
+            for label, series in data.items()
+            for bw, ktx, lat, sat in series
+        ]
+        print(format_table(("System", "Mb/s", "Ktx/s", "p50 lat (ms)", "CPU"),
+                           rows, title="Figure 10"))
+    elif args.figure == "11":
+        results = fig11_heterogeneous(scale=scale)
+        rows = [
+            (r.mode, round(r.throughput_txs / 1000, 2),
+             round(r.latency["p50"] * 1000, 0))
+            for r in results
+        ]
+        print(format_table(("System", "Ktx/s", "p50 lat (ms)"), rows,
+                           title="Figure 11"))
+    else:
+        case = {"12a": "leader", "12b": "three-leaders", "12c": "internal+leaders"}[
+            args.figure
+        ]
+        scenario = "national" if args.figure == "12c" else "global"
+        duration = {"12a": 100.0, "12b": 160.0, "12c": 700.0}[args.figure]
+        run = fig12_reconfiguration(
+            case, scenario=scenario, duration=duration, bucket=5.0
+        )
+        print(format_table(("t (s)", "tx/s"), run.timeseries,
+                           title=f"Figure {args.figure}: {case}"))
+        print(f"reconfigurations: {run.max_view}; "
+              f"final topology: {'star' if run.final_is_star else 'tree'}; "
+              f"recovery gap: {run.recovery_gap}")
+    return 0
+
+
+def _add_sweep_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "sweep", help="grid of runs over modes / sizes / block sizes"
+    )
+    p.add_argument("--modes", default="kauri,hotstuff-secp",
+                   help="comma-separated mode list")
+    p.add_argument("--sizes", default="31", help="comma-separated N list")
+    p.add_argument("--block-sizes-kb", default="250",
+                   help="comma-separated block sizes (KB)")
+    p.add_argument("--scenario", default="global", choices=list(SCENARIOS))
+    p.add_argument("--duration", type=float, default=None,
+                   help="simulated seconds per cell; default adapts per cell")
+    p.add_argument("--max-commits", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true")
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.figures import adaptive_duration
+    from repro.runtime.experiment import run_experiment
+
+    params = SCENARIOS[args.scenario]
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    sizes = [int(s) for s in args.sizes.split(",")]
+    blocks = [int(b) for b in args.block_sizes_kb.split(",")]
+    results = []
+    for n in sizes:
+        for mode in modes:
+            for block_kb in blocks:
+                duration = args.duration
+                if duration is None:
+                    duration = adaptive_duration(mode, n, params, block_kb * KB)
+                result = run_experiment(
+                    mode=mode,
+                    scenario=args.scenario,
+                    n=n,
+                    block_size=block_kb * KB,
+                    duration=duration,
+                    max_commits=args.max_commits,
+                    seed=args.seed,
+                )
+                results.append(result)
+    if args.json:
+        print(json.dumps(
+            [dataclasses.asdict(r) for r in results], indent=2, default=str
+        ))
+        return 0
+    rows = [
+        (
+            r.scenario,
+            r.n,
+            r.mode,
+            r.block_size // KB,
+            round(r.throughput_txs, 1),
+            round(r.latency["p50"], 3),
+            "SAT" if r.cpu_saturated else "",
+        )
+        for r in results
+    ]
+    print(
+        format_table(
+            ("Scenario", "N", "System", "Block KB", "tx/s", "p50 (s)", "CPU"),
+            rows,
+            title="Sweep",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Kauri (SOSP 2021) reproduction: run deployments, "
+                    "evaluate the performance model, regenerate the paper's "
+                    "tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(subparsers)
+    _add_model_parser(subparsers)
+    _add_tune_parser(subparsers)
+    _add_table_parser(subparsers)
+    _add_fig_parser(subparsers)
+    _add_sweep_parser(subparsers)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "model": _cmd_model,
+        "tune": _cmd_tune,
+        "table": _cmd_table,
+        "fig": _cmd_fig,
+        "sweep": _cmd_sweep,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) closed the pipe: not an error
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Consensus substrate: HotStuff's 4-round protocol state (paper §3.1, §6).
+
+Kauri is deliberately *not* a new consensus algorithm: it replaces
+HotStuff's star-based ``broadcastMsg``/``waitFor`` with tree-based
+implementations. This package holds everything both share: blocks and the
+block store, quorum certificates, the replica safety rules (vote-once,
+locking), and the pacemaker driving view changes (§6, §7.10).
+"""
+
+from repro.consensus.block import Block, BlockStore, GENESIS_HASH, make_genesis
+from repro.consensus.vote import Phase, QuorumCert, genesis_qc, vote_value
+from repro.consensus.safety import SafetyRules
+from repro.consensus.pacemaker import Pacemaker
+
+__all__ = [
+    "Block",
+    "BlockStore",
+    "GENESIS_HASH",
+    "make_genesis",
+    "Phase",
+    "QuorumCert",
+    "genesis_qc",
+    "vote_value",
+    "SafetyRules",
+    "Pacemaker",
+]

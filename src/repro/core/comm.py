@@ -1,0 +1,172 @@
+"""``broadcastMsg`` and ``waitFor`` on trees (paper Algorithms 2 and 3).
+
+One :class:`TreeComm` is instantiated per process per view, bound to that
+view's topology. The same code serves every role: the root injects data and
+collects the final aggregate; internal nodes forward down and aggregate up;
+leaves receive and vote. A star (height-1 tree) degenerates to HotStuff's
+pattern with zero forwarding hops.
+
+Timeout discipline: vote receives (Algorithm 3) always use the impatient
+bound Δ, so a faulty child can never block aggregation -- the liveness
+mechanism Theorem 2 relies on. Dissemination receives (Algorithm 2) accept
+an optional timeout; the protocol passes ``None`` for rounds whose arrival
+time depends on pipelining depth and lets the pacemaker bound the wait
+instead (a documented deviation from Algorithm 1's fixed Δ that preserves
+its guarantees: the receive still always terminates, via view change).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.crypto.collection import Collection
+from repro.crypto.signature import SignatureScheme
+from repro.errors import CryptoError
+from repro.net.impatient import BOTTOM
+from repro.net.network import Network
+from repro.sim.cpu import Cpu
+from repro.sim.engine import Simulator
+from repro.sim.process import TIMEOUT
+from repro.topology.tree import Tree
+
+
+class TreeComm:
+    """Tree-scoped communication primitives for one process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        tree: Tree,
+        delta: float,
+    ):
+        if node_id not in tree:
+            raise ValueError(f"process {node_id} not in topology")
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.tree = tree
+        self.delta = delta
+        self.parent: Optional[int] = tree.parent(node_id)
+        self.children: Tuple[int, ...] = tree.children(node_id)
+        self._endpoint = network.endpoint(node_id)
+        # A child heading a deeper subtree may legitimately take longer to
+        # reply: its own aggregation waits up to Δ per level below it. The
+        # per-child bound is therefore (1 + subtree height) · Δ, keeping
+        # the worst case known, as Algorithm 1 requires.
+        self._child_depth_factor: dict = {
+            child: 1 + self._subtree_height(child) for child in self.children
+        }
+
+    def _subtree_height(self, node: int) -> int:
+        base = self.tree.depth(node)
+        return max(self.tree.depth(member) for member in self.tree.subtree(node)) - base
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    # ------------------------------------------------------------------
+    # Raw edges
+    # ------------------------------------------------------------------
+    def send_to_children(self, tag: Hashable, payload: Any, size: int) -> None:
+        """Forward ``payload`` down one level (Algorithm 2, lines 7-9)."""
+        for child in self.children:
+            self.network.send(self.node_id, child, tag, payload, size)
+
+    def send_to_parent(self, tag: Hashable, payload: Any, size: int) -> None:
+        if self.parent is None:
+            raise ValueError("the root has no parent")
+        self.network.send(self.node_id, self.parent, tag, payload, size)
+
+    def receive_from_parent(self, tag: Hashable, timeout: Optional[float]):
+        """Coroutine: next message with ``tag`` from the parent, or ⊥."""
+        if self.parent is None:
+            raise ValueError("the root has no parent")
+        parent = self.parent
+        msg = yield from self._endpoint.receive(
+            tag, timeout=timeout, match=lambda m: m.src == parent
+        )
+        if msg is TIMEOUT:
+            return BOTTOM
+        return msg
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: broadcastMsg
+    # ------------------------------------------------------------------
+    def broadcast(
+        self,
+        tag: Hashable,
+        data: Any = None,
+        size: int = 0,
+        timeout: Optional[float] = None,
+    ):
+        """Coroutine implementing Algorithm 2 at this process.
+
+        At the root, ``data``/``size`` are the value to disseminate; at
+        other processes they are ignored and the value is received from
+        the parent (⊥ on timeout, in which case nothing is forwarded and
+        ⊥ is returned). Returns the disseminated value.
+        """
+        if self.parent is not None:
+            msg = yield from self.receive_from_parent(tag, timeout)
+            if msg is BOTTOM:
+                return BOTTOM
+            data, size = msg.payload, msg.size
+        self.send_to_children(tag, data, size)
+        return data
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: waitFor
+    # ------------------------------------------------------------------
+    def wait_for(
+        self,
+        tag: Hashable,
+        own: Optional[Collection],
+        scheme: SignatureScheme,
+        cpu: Cpu,
+        timeout: Optional[float] = None,
+    ):
+        """Coroutine implementing Algorithm 3 at this process.
+
+        ``own`` is this process's vote as a singleton collection (``None``
+        if it cannot vote, e.g. it never received the proposal); children's
+        partial aggregates are received impatiently (bound ``timeout``,
+        default Δ), validated (charged to ``cpu``), merged, and the result
+        is relayed to the parent. Returns the final collection (meaningful
+        at the root; at other nodes it is what was relayed).
+
+        All per-child impatient timers start at phase entry, as if the
+        receives ran concurrently: a faulty child costs at most its own Δ
+        of *wall* time, never Δ per faulty sibling (crucial when many
+        children are crashed -- the star-fallback recovery of §5.3 would
+        otherwise stall behind f sequential timeouts).
+        """
+        base_bound = self.delta if timeout is None else timeout
+        start = self.sim.now
+        collection: Collection = own if own is not None else scheme.empty()
+        for child in self.children:
+            deadline = start + base_bound * self._child_depth_factor[child]
+            bound = max(0.0, deadline - self.sim.now)
+            msg = yield from self._endpoint.receive(
+                tag, timeout=bound, match=lambda m, c=child: m.src == c
+            )
+            if msg is TIMEOUT:
+                continue  # ⊥: faulty or slow child; aggregate what we have
+            partial = msg.payload
+            if not isinstance(partial, Collection):
+                continue  # Byzantine garbage in place of a collection
+            yield from cpu.consume(scheme.cost_verify_share())
+            yield from cpu.consume(scheme.cost_combine(1))
+            try:
+                collection = collection.combine(partial)
+            except CryptoError:
+                continue  # incompatible/forged partial: contributes nothing
+        if self.parent is not None:
+            self.send_to_parent(tag, collection, collection.wire_size())
+        return collection
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "root" if self.is_root else ("internal" if self.children else "leaf")
+        return f"TreeComm(node={self.node_id}, {role}, fanout={len(self.children)})"

@@ -1,0 +1,66 @@
+"""The evaluated systems (paper §6-§7) as declarative mode specs.
+
+- **kauri**: tree topology, BLS aggregation, stretch-paced pipelining
+  (§4.2) and bin-based reconfiguration with star fallback (§5).
+- **kauri-np**: Kauri without pipelining -- one instance at a time. §7.4
+  uses it as a stand-in for non-pipelining tree systems (Motor,
+  Omniledger).
+- **hotstuff-secp**: the baseline HotStuff: star topology, secp signature
+  lists, chained pipelining of depth 4 (§4.1).
+- **hotstuff-bls**: the paper's HotStuff variant with BLS aggregation (§6),
+  isolating the effect of the signature scheme from the topology.
+- **kauri-secp**: ablation -- Kauri's tree and pipelining but without
+  aggregation (not in the paper's figures; used by the ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ModeSpec:
+    """One protocol configuration."""
+
+    name: str
+    topology: str  # "tree" | "star" | "clique"
+    scheme: str  # "bls" | "secp"
+    pacing: str  # "stretch" | "sequential" | "chained"
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("tree", "star", "clique"):
+            raise ConfigError(f"unknown topology {self.topology!r}")
+        if self.scheme not in ("bls", "secp"):
+            raise ConfigError(f"unknown scheme {self.scheme!r}")
+        if self.pacing not in ("stretch", "sequential", "chained"):
+            raise ConfigError(f"unknown pacing {self.pacing!r}")
+
+    @property
+    def uses_tree(self) -> bool:
+        return self.topology == "tree"
+
+    @property
+    def pipelined(self) -> bool:
+        return self.pacing != "sequential"
+
+
+MODES = {
+    "kauri": ModeSpec("kauri", "tree", "bls", "stretch"),
+    "kauri-np": ModeSpec("kauri-np", "tree", "bls", "sequential"),
+    "kauri-secp": ModeSpec("kauri-secp", "tree", "secp", "stretch"),
+    "hotstuff-secp": ModeSpec("hotstuff-secp", "star", "secp", "chained"),
+    "hotstuff-bls": ModeSpec("hotstuff-bls", "star", "bls", "chained"),
+    # The §1 baseline: clique topology, all-to-all quadratic traffic.
+    "pbft": ModeSpec("pbft", "clique", "secp", "sequential"),
+}
+
+
+def mode_spec(name: str) -> ModeSpec:
+    try:
+        return MODES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown mode {name!r}; available: {sorted(MODES)}"
+        ) from None

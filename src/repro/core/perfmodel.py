@@ -1,0 +1,286 @@
+"""The §4.3 performance model: pipelining stretch and expected speedup.
+
+For a topology with root fanout ``m`` over ``N`` processes:
+
+- *sending time*  ≈ ``m · b / c``: the root's uplink occupancy per block
+  (fanout × block wire size / bandwidth);
+- *processing time*: per-round crypto work at the root (measured values per
+  scheme, from :mod:`repro.crypto.costs`);
+- *remaining time* ≈ ``h · (RTT + processing)``: from last byte sent until
+  the aggregated reply is processed;
+- *pipelining stretch* = remaining / bottleneck, where the bottleneck is
+  sending time (bandwidth-bound) or processing time (CPU-bound);
+- *max speedup* = ``(N - 1) / m``: the star-to-tree sending-time ratio
+  (19.95 for N=400, m=20 -- §4.3's example).
+
+The same formulas cover HotStuff by setting ``m = N - 1`` and ``h = 1``.
+The model drives Table 2, the default stretch used by the benches ("for
+Kauri we adjust the pipelining stretch following our performance model",
+§7.7), the leader's proposal pacing, and the pacemaker's scenario-derived
+base timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import NetworkParams, ProtocolConfig, quorum_size
+from repro.crypto.costs import CryptoCostModel, bitmap_size
+from repro.errors import ConfigError
+
+#: Fixed per-proposal framing (headers, tags, parent metadata), bytes.
+PROPOSAL_OVERHEAD = 256
+
+
+@dataclass(frozen=True)
+class PerfModel:
+    """Closed-form round timing for one (topology, scheme, scenario)."""
+
+    n: int
+    height: int
+    root_fanout: int
+    rtt: float
+    bandwidth_bps: float
+    block_size: int
+    costs: CryptoCostModel
+    #: Largest per-node fanout anywhere in the tree. In the paper's
+    #: balanced shapes this equals the root fanout; in skewed shapes (small
+    #: n, deep trees) the last interior level can fan out wider, and *its*
+    #: forwarding time bounds the sustainable instance rate, not the
+    #: root's. ``None`` means "same as the root fanout".
+    bottleneck_fanout: int = None  # type: ignore[assignment]
+    #: Parallel uplink lanes per process (see :class:`repro.net.nic.Nic`).
+    #: 1 = the strict §4.3 model; >1 approximates a testbed whose machines
+    #: carry several shaped streams concurrently.
+    uplink_lanes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigError(f"need n >= 2, got {self.n}")
+        if not 1 <= self.root_fanout <= self.n - 1:
+            raise ConfigError(f"root fanout {self.root_fanout} out of range")
+        if self.height < 1:
+            raise ConfigError(f"height must be >= 1, got {self.height}")
+        if self.bottleneck_fanout is not None and self.bottleneck_fanout < 1:
+            raise ConfigError(f"bottleneck fanout {self.bottleneck_fanout} invalid")
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    @property
+    def quorum(self) -> int:
+        return quorum_size(self.n)
+
+    def qc_wire_size(self) -> int:
+        """Bytes of one quorum certificate on the wire."""
+        if self.costs.supports_aggregation:
+            return 24 + self.costs.aggregate_base_size + bitmap_size(self.n)
+        return 24 + self.costs.signature_size * self.quorum
+
+    def block_wire_size(self) -> int:
+        """Round-1 proposal: payload + embedded justify QC + framing."""
+        return self.block_size + self.qc_wire_size() + PROPOSAL_OVERHEAD
+
+    def _send_time_for_fanout(self, fanout: int) -> float:
+        serial_sends = -(-fanout // max(1, self.uplink_lanes))  # ceil
+        return serial_sends * self.block_wire_size() * 8.0 / self.bandwidth_bps
+
+    @property
+    def sending_time(self) -> float:
+        """§4.3: the root's per-instance uplink occupancy, m·b/c
+        (divided across parallel lanes when the NIC model has them)."""
+        return self._send_time_for_fanout(self.root_fanout)
+
+    @property
+    def effective_bottleneck_fanout(self) -> int:
+        if self.bottleneck_fanout is None:
+            return self.root_fanout
+        return max(self.bottleneck_fanout, self.root_fanout)
+
+    @property
+    def forwarding_time(self) -> float:
+        """Per-instance uplink occupancy of the widest internal node."""
+        return self._send_time_for_fanout(self.effective_bottleneck_fanout)
+
+    def qc_sending_time(self) -> float:
+        """Uplink occupancy for one round of QC dissemination."""
+        return self.root_fanout * self.qc_wire_size() * 8.0 / self.bandwidth_bps
+
+    @property
+    def processing_time(self) -> float:
+        """Per-round crypto work at the root (the busiest node).
+
+        With aggregation (BLS): verify + merge each of ``m`` child
+        aggregates, plus the root's own share -- O(m), §3.3.2. Without
+        (secp): the collected quorum is a list that must be verified
+        signature by signature -- O(N), §3.3.2's "classical asymmetric
+        signatures require O(N) verifications".
+        """
+        if self.costs.supports_aggregation:
+            return (
+                self.costs.sign_time
+                + self.root_fanout
+                * (self.costs.aggregate_verify_time + self.costs.combine_per_input_time)
+            )
+        return self.costs.sign_time + self.quorum * self.costs.verify_time
+
+    @property
+    def remaining_time_paper(self) -> float:
+        """§4.3's simple form: h · (RTT + processing time)."""
+        return self.height * (self.rtt + self.processing_time)
+
+    @property
+    def remaining_time(self) -> float:
+        """Refined remaining time: §4.3's h · (RTT + processing) plus the
+        store-and-forward sending time of the ``h - 1`` lower tree levels.
+
+        The paper's simple form counts only propagation and processing per
+        level; in a bandwidth-constrained deployment each internal level
+        also occupies its own uplink for one sending time before the block
+        reaches the leaves, and the root is idle for that long too. The
+        refinement markedly improves the predicted optimal stretch on deep
+        trees (see EXPERIMENTS.md) and reduces to the paper's formula for
+        stars (h = 1).
+        """
+        return self.remaining_time_paper + (self.height - 1) * self.sending_time
+
+    @property
+    def round_time(self) -> float:
+        """One dissemination + aggregation sweep for a block-carrying round."""
+        return self.sending_time + self.remaining_time
+
+    # ------------------------------------------------------------------
+    # §4.3 headline quantities
+    # ------------------------------------------------------------------
+    @property
+    def bottleneck_time(self) -> float:
+        """The per-instance cost at the busiest resource: the root's
+        sending time (bandwidth-bound), an internal node's forwarding time
+        (skewed trees), or the processing time (CPU-bound)."""
+        return max(self.sending_time, self.forwarding_time, self.processing_time)
+
+    @property
+    def is_cpu_bound(self) -> bool:
+        return self.processing_time > max(self.sending_time, self.forwarding_time)
+
+    @property
+    def pipelining_stretch(self) -> float:
+        """Instances startable during one round's remaining time (§4.3).
+
+        Computed from the pacing identity ``interval = round_time /
+        (1 + stretch)`` at ``interval = bottleneck_time``, which reduces to
+        the paper's ``remaining / sending`` (bandwidth-bound) and
+        approximates ``remaining / processing`` (CPU-bound) while staying
+        correct when an internal level, not the root, is the bottleneck.
+        """
+        return max(0.0, self.round_time / self.bottleneck_time - 1.0)
+
+    @property
+    def max_speedup(self) -> float:
+        """(N-1)/m: the best tree-over-star factor (19.95 at N=400, m=20)."""
+        return (self.n - 1) / self.root_fanout
+
+    # ------------------------------------------------------------------
+    # Derived operating parameters
+    # ------------------------------------------------------------------
+    def instance_latency(self) -> float:
+        """End-to-end latency of one full 4-round instance, unpipelined.
+
+        Round 1 carries the block; rounds 2-4 carry QCs only.
+        """
+        block_round = self.sending_time + self.remaining_time
+        qc_round = self.qc_sending_time() + self.remaining_time
+        return block_round + 3 * qc_round
+
+    def proposal_interval(self, stretch: float) -> float:
+        """Time between consecutive instance starts for a given stretch.
+
+        ``round_time / (1 + stretch)``: at the model's ideal stretch this
+        equals the bottleneck time, keeping the root exactly busy; larger
+        stretches push the interval below the sending time and the NIC
+        backlog grows -- the §4.2 over-pipelining regime.
+        """
+        if stretch < 0:
+            raise ConfigError(f"negative stretch: {stretch}")
+        return self.round_time / (1.0 + stretch)
+
+    def expected_throughput_blocks(self, pipelined: bool = True) -> float:
+        """Blocks per second at the model's optimum."""
+        if pipelined:
+            return 1.0 / self.bottleneck_time
+        return 1.0 / self.instance_latency()
+
+    def expected_throughput_txs(self, config: ProtocolConfig, pipelined: bool = True) -> float:
+        return self.expected_throughput_blocks(pipelined) * config.txs_per_block
+
+    def suggested_timeout(self, base: float) -> float:
+        """Pacemaker base: generous multiple of the instance latency.
+
+        Mirrors the paper's empirical calibration (§7.10): start large,
+        shrink until spurious reconfigurations appear. Kauri's smaller
+        instance latency automatically yields its more aggressive timeout.
+        """
+        return max(base, 2.5 * self.instance_latency())
+
+    def suggested_delta(self) -> float:
+        """Impatient-channel bound Δ for vote aggregation waits.
+
+        Must cover a full dissemination + aggregation sweep below the
+        waiting node, plus pipelining-induced queueing of up to one block
+        sending time per tree level.
+        """
+        return self.round_time + self.height * self.sending_time + 0.25
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def for_topology(
+        n: int,
+        height: int,
+        root_fanout: int,
+        params: NetworkParams,
+        block_size: int,
+        costs: CryptoCostModel,
+        bottleneck_fanout: int = None,
+        uplink_lanes: int = 1,
+    ) -> "PerfModel":
+        return PerfModel(
+            n=n,
+            height=height,
+            root_fanout=root_fanout,
+            rtt=params.rtt,
+            bandwidth_bps=params.bandwidth_bps,
+            block_size=block_size,
+            costs=costs,
+            bottleneck_fanout=bottleneck_fanout,
+            uplink_lanes=uplink_lanes,
+        )
+
+    @staticmethod
+    def for_tree_shape(
+        n: int,
+        height: int,
+        root_fanout: int,
+        params: NetworkParams,
+        block_size: int,
+        costs: CryptoCostModel,
+    ) -> "PerfModel":
+        """Like :meth:`for_topology`, deriving the bottleneck fanout from
+        the balanced-tree level sizes the builder would produce."""
+        from repro.topology.builder import tree_level_sizes
+
+        widest = root_fanout
+        if height > 1:
+            sizes = tree_level_sizes(n, height, root_fanout)
+            last_interior, leaves = sizes[-2], sizes[-1]
+            widest = max(widest, -(-leaves // last_interior))  # ceil division
+        return PerfModel.for_topology(
+            n, height, root_fanout, params, block_size, costs,
+            bottleneck_fanout=widest,
+        )
+
+    @staticmethod
+    def for_star(
+        n: int, params: NetworkParams, block_size: int, costs: CryptoCostModel
+    ) -> "PerfModel":
+        """HotStuff: a height-1 'tree' whose root talks to everyone."""
+        return PerfModel.for_topology(n, 1, n - 1, params, block_size, costs)

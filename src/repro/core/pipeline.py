@@ -1,0 +1,72 @@
+"""Proposal pacing: static stretch and the runtime-adaptive controller.
+
+The published Kauri uses "a static pre-configured value, but this could be
+automatically adapted at runtime, which we leave for future work" (§6).
+:class:`AdaptivePacer` implements that future work with an AIMD controller
+on the leader's own uplink backlog:
+
+- the ideal operating point keeps the root's NIC continuously busy but
+  not growing (§4.2: under-pipelining idles the root, over-pipelining
+  congests the system);
+- backlog above ``high × sending_time`` ⇒ multiplicative back-off of the
+  proposal interval; backlog below ``low × sending_time`` ⇒ gentle
+  speed-up;
+- the interval stays within [bottleneck time, round time], i.e. between
+  "fully pipelined" and "no pipelining".
+
+The controller needs no clock beyond the NIC's backlog and no coordination
+-- only the leader runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.perfmodel import PerfModel
+from repro.errors import ConfigError
+from repro.net.nic import Nic
+
+
+@dataclass
+class AdaptivePacer:
+    """AIMD controller for the leader's proposal interval."""
+
+    model: PerfModel
+    initial_stretch: float
+    backoff: float = 1.3
+    speedup: float = 0.94
+    high_watermark: float = 2.0  # in units of sending time
+    low_watermark: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.backoff <= 1.0:
+            raise ConfigError(f"backoff must exceed 1.0: {self.backoff}")
+        if not 0.0 < self.speedup < 1.0:
+            raise ConfigError(f"speedup must be in (0,1): {self.speedup}")
+        if self.low_watermark >= self.high_watermark:
+            raise ConfigError("low watermark must be below high watermark")
+        self.interval = self.model.proposal_interval(self.initial_stretch)
+        self._floor = max(1e-6, self.model.bottleneck_time * 0.9)
+        self._ceiling = self.model.round_time
+        self.interval = self._clamp(self.interval)
+        self.adjustments = 0
+
+    def _clamp(self, interval: float) -> float:
+        return min(max(interval, self._floor), self._ceiling)
+
+    def next_interval(self, nic: Nic) -> float:
+        """The interval to wait before the next proposal, given the NIC."""
+        sending = max(self.model.sending_time, 1e-9)
+        backlog_units = nic.backlog / sending
+        if backlog_units > self.high_watermark:
+            self.interval = self._clamp(self.interval * self.backoff)
+            self.adjustments += 1
+        elif backlog_units < self.low_watermark:
+            self.interval = self._clamp(self.interval * self.speedup)
+            self.adjustments += 1
+        return self.interval
+
+    @property
+    def effective_stretch(self) -> float:
+        """The stretch the current interval corresponds to (§4.3 inverse)."""
+        return max(0.0, self.model.round_time / self.interval - 1.0)

@@ -1,0 +1,131 @@
+"""BLS-style non-interactive multisignatures (Kauri and HotStuff-bls, §6).
+
+Each internal node aggregates its children's shares into a single
+aggregated vote (§3.3.2): O(m) aggregation work per node, O(1) aggregate
+size and verification. The wire representation is modeled as one 48-byte
+aggregate plus a signer bitmap per distinct value; the in-memory object
+additionally carries per-signer tags so that ⊕ is idempotent under
+arbitrary overlaps and forged tags are detectable -- exactly the behaviour
+of real BLS multisignatures with rogue-key protection (§2 cites the
+proof-of-possession requirement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Mapping, Tuple
+
+from repro.crypto.collection import Collection
+from repro.crypto.costs import CryptoCostModel, bitmap_size
+from repro.crypto.keys import KeyPair, Pki, canonical_digest
+from repro.crypto.signature import SignatureScheme
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class BlsShare:
+    """One process's multisignature share over one value."""
+
+    signer: int
+    value: Any
+    tag: bytes
+
+
+class BlsCollection(Collection):
+    """Per-value aggregates: value -> {signer: tag}; ⊕ merges signer maps."""
+
+    __slots__ = ("_pki", "_costs", "_byvalue", "_valid_cache")
+
+    def __init__(
+        self,
+        pki: Pki,
+        costs: CryptoCostModel,
+        byvalue: Mapping[Any, Mapping[int, bytes]] = None,
+    ):
+        self._pki = pki
+        self._costs = costs
+        self._byvalue: Dict[Any, Dict[int, bytes]] = {
+            value: dict(signers) for value, signers in (byvalue or {}).items()
+        }
+        self._valid_cache: Dict[Any, FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------
+    def combine(self, other: Collection) -> "BlsCollection":
+        if not isinstance(other, BlsCollection):
+            raise CryptoError(
+                f"cannot combine bls collection with {type(other).__name__}"
+            )
+        if other._pki is not self._pki:
+            raise CryptoError("cannot combine collections from different PKIs")
+        merged: Dict[Any, Dict[int, bytes]] = {
+            value: dict(signers) for value, signers in self._byvalue.items()
+        }
+        for value, signers in other._byvalue.items():
+            slot = merged.setdefault(value, {})
+            for signer, tag in signers.items():
+                # Conflicting tags for the same (signer, value): keep the
+                # valid one if any; a bad tag must never shadow a good one.
+                existing = slot.get(signer)
+                if existing is None or existing == tag:
+                    slot[signer] = tag
+                else:
+                    digest = canonical_digest(value)
+                    if self._pki.verify_mac(signer, digest, tag):
+                        slot[signer] = tag
+        return BlsCollection(self._pki, self._costs, merged)
+
+    def has(self, value: Any, threshold: int) -> bool:
+        return len(self.signers_for(value)) >= threshold
+
+    def signers_for(self, value: Any) -> FrozenSet[int]:
+        cached = self._valid_cache.get(value)
+        if cached is not None:
+            return cached
+        signers = self._byvalue.get(value, {})
+        digest = canonical_digest(value)
+        valid = frozenset(
+            signer
+            for signer, tag in signers.items()
+            if self._pki.verify_mac(signer, digest, tag)
+        )
+        self._valid_cache[value] = valid
+        return valid
+
+    def cardinality(self) -> int:
+        return sum(len(signers) for signers in self._byvalue.values())
+
+    def values(self) -> FrozenSet[Any]:
+        return frozenset(self._byvalue)
+
+    def wire_size(self) -> int:
+        """One constant-size aggregate + signer bitmap per distinct value."""
+        per_value = self._costs.aggregate_base_size + bitmap_size(self._pki.n)
+        return 8 + per_value * len(self._byvalue)
+
+    # ------------------------------------------------------------------
+    def _frozen(self) -> FrozenSet[Tuple[Any, int, bytes]]:
+        return frozenset(
+            (value, signer, tag)
+            for value, signers in self._byvalue.items()
+            for signer, tag in signers.items()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BlsCollection) and self._frozen() == other._frozen()
+
+    def __hash__(self) -> int:
+        return hash(self._frozen())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlsCollection({self.cardinality()} shares, {len(self._byvalue)} values)"
+
+
+class BlsScheme(SignatureScheme):
+    """Scheme factory for BLS-style multisignature collections."""
+
+    def new(self, keypair: KeyPair, value: Any) -> BlsCollection:
+        tag = keypair.mac(canonical_digest(value))
+        return BlsCollection(self.pki, self.costs, {value: {keypair.node_id: tag}})
+
+    def empty(self) -> BlsCollection:
+        return BlsCollection(self.pki, self.costs)

@@ -1,0 +1,62 @@
+"""The cryptographic collection abstraction (paper §3.3.2).
+
+A collection is a secure multiset of ``(process, value)`` tuples:
+
+- ``new((p, v))`` -- create a collection with one tuple (scheme method);
+- ``c1 | c2`` / ``c1.combine(c2)`` -- merge two collections (⊕);
+- ``c.has(v, t)`` -- does the collection contain at least ``t`` *valid*
+  distinct tuples with value ``v``?
+- ``len(c)`` -- total number of distinct input tuples combined.
+
+Required laws, property-tested in ``tests/test_crypto_collection.py``:
+
+- Commutativity: ``c1 ⊕ c2 == c2 ⊕ c1``
+- Associativity: ``c1 ⊕ (c2 ⊕ c3) == (c1 ⊕ c2) ⊕ c3``
+- Idempotency:   ``c1 ⊕ c1 == c1``
+- Integrity:     ``has(c, v, t)`` implies at least ``t`` distinct processes
+  executed ``new((p, v))`` (forged entries never count).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, FrozenSet
+
+
+class Collection(ABC):
+    """Abstract cryptographic collection; instances are immutable."""
+
+    @abstractmethod
+    def combine(self, other: "Collection") -> "Collection":
+        """The ⊕ operator: merge two collections of the same scheme."""
+
+    @abstractmethod
+    def has(self, value: Any, threshold: int) -> bool:
+        """True iff ≥ ``threshold`` distinct processes validly signed ``value``."""
+
+    @abstractmethod
+    def signers_for(self, value: Any) -> FrozenSet[int]:
+        """The set of processes with a *valid* tuple for ``value``."""
+
+    @abstractmethod
+    def cardinality(self) -> int:
+        """Total distinct ``(process, value)`` tuples combined (``|c|``)."""
+
+    @abstractmethod
+    def wire_size(self) -> int:
+        """Modeled size in bytes when sent over the network."""
+
+    @abstractmethod
+    def values(self) -> FrozenSet[Any]:
+        """All distinct values appearing in the collection."""
+
+    # ------------------------------------------------------------------
+    def __or__(self, other: "Collection") -> "Collection":
+        return self.combine(other)
+
+    def __len__(self) -> int:
+        return self.cardinality()
+
+    def count_for(self, value: Any) -> int:
+        """Number of valid signers for ``value``."""
+        return len(self.signers_for(value))

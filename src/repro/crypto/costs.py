@@ -1,0 +1,93 @@
+"""CPU-time and wire-size cost model for cryptographic operations.
+
+The paper measures processing times experimentally per signature scheme
+(Table 2) and feeds them to the performance model (§4.3). We do the same:
+these constants are charged to simulated CPUs and NICs. The defaults are
+order-of-magnitude figures for libsecp256k1 and Chia's BLS12-381 library on
+the paper's testbed era hardware (2×Xeon E5-2620 v4); they are configurable
+per experiment, and EXPERIMENTS.md records their effect on absolute
+numbers.
+
+Key asymmetry the evaluation hinges on (§1, §3.3.2, §6):
+
+- *secp*: cheap per-signature ops, but a quorum certificate is a **list**
+  of N-f signatures -- O(N) bytes on the wire and O(N) verifications per
+  validator.
+- *bls*: expensive per-operation (pairings), but aggregates are **constant
+  size** and verify in O(1) pairings; each internal node aggregates only
+  its fanout's worth of shares, O(m) work (§3.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CryptoCostModel:
+    """Timings (seconds) and sizes (bytes) for one signature scheme."""
+
+    name: str
+    sign_time: float            # produce one share/signature
+    verify_time: float          # verify one individual share/signature
+    aggregate_verify_time: float  # verify one aggregate, independent of signers
+    combine_per_input_time: float  # merge one input into an aggregate
+    signature_size: int         # one share/signature on the wire
+    aggregate_base_size: int    # fixed part of an aggregate (0 = no aggregation)
+    supports_aggregation: bool
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "sign_time",
+            "verify_time",
+            "aggregate_verify_time",
+            "combine_per_input_time",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ConfigError(f"negative {field_name}")
+        if self.signature_size <= 0:
+            raise ConfigError("signature_size must be positive")
+
+    def scaled(self, factor: float) -> "CryptoCostModel":
+        """Uniformly scale all timings (models faster/slower CPUs)."""
+        if factor < 0:
+            raise ConfigError(f"negative scale factor: {factor}")
+        return replace(
+            self,
+            sign_time=self.sign_time * factor,
+            verify_time=self.verify_time * factor,
+            aggregate_verify_time=self.aggregate_verify_time * factor,
+            combine_per_input_time=self.combine_per_input_time * factor,
+        )
+
+
+#: libsecp256k1-style ECDSA: fast ops, no aggregation (HotStuff-secp, §6).
+SECP_COSTS = CryptoCostModel(
+    name="secp256k1",
+    sign_time=50e-6,
+    verify_time=100e-6,
+    aggregate_verify_time=0.0,   # no aggregates; quorums verify per signature
+    combine_per_input_time=0.0,  # list append
+    signature_size=64,
+    aggregate_base_size=0,
+    supports_aggregation=False,
+)
+
+#: Chia-style BLS12-381 multisignatures (Kauri and HotStuff-bls, §6).
+BLS_COSTS = CryptoCostModel(
+    name="bls",
+    sign_time=1.2e-3,
+    verify_time=2.6e-3,           # one pairing-based check per received share
+    aggregate_verify_time=2.6e-3,  # constant regardless of signer count
+    combine_per_input_time=5e-6,   # group additions are cheap
+    signature_size=48,
+    aggregate_base_size=48,
+    supports_aggregation=True,
+)
+
+
+def bitmap_size(n: int) -> int:
+    """Bytes needed to name the signer set of an aggregate over ``n`` nodes."""
+    return (n + 7) // 8

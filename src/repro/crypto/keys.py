@@ -1,0 +1,78 @@
+"""Public-key infrastructure (paper §2).
+
+The system model assumes a PKI distributing keys before the run, with keys
+fixed for the execution. :class:`Pki` plays that role and doubles as the
+verification oracle: verifying a signature recomputes the keyed MAC, which
+only works because the PKI knows every secret. Within the simulation this
+gives real unforgeability -- Byzantine protocol code has no access to other
+processes' :class:`KeyPair` objects, so it cannot fabricate shares that
+verify (tested in ``tests/test_crypto_*``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict
+
+from repro.errors import CryptoError
+
+
+def canonical_digest(value: Any) -> bytes:
+    """Deterministic 32-byte digest of a signable value.
+
+    Values signed by the protocol are hashable tuples of primitives
+    (view numbers, phase names, block hashes); ``repr`` is stable for
+    those.
+    """
+    return hashlib.sha256(repr(value).encode("utf-8")).digest()
+
+
+class KeyPair:
+    """A process's signing key. Possession of the object *is* the secret."""
+
+    __slots__ = ("node_id", "_secret")
+
+    def __init__(self, node_id: int, secret: bytes):
+        self.node_id = node_id
+        self._secret = secret
+
+    def mac(self, digest: bytes) -> bytes:
+        """Keyed MAC over ``digest`` -- the simulated signature tag."""
+        return hashlib.sha256(self._secret + digest).digest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyPair(node={self.node_id})"
+
+
+class Pki:
+    """Key registry and verification oracle for one deployment."""
+
+    def __init__(self, n: int, seed: int = 0):
+        if n < 1:
+            raise CryptoError(f"PKI needs at least one process, got {n}")
+        self.n = n
+        self._keys: Dict[int, KeyPair] = {}
+        root = hashlib.sha256(f"pki-seed-{seed}".encode()).digest()
+        for node_id in range(n):
+            secret = hashlib.sha256(root + node_id.to_bytes(8, "big")).digest()
+            self._keys[node_id] = KeyPair(node_id, secret)
+
+    def keypair(self, node_id: int) -> KeyPair:
+        """Hand ``node_id`` its own keypair (deployment-time distribution)."""
+        try:
+            return self._keys[node_id]
+        except KeyError:
+            raise CryptoError(f"process {node_id} is not in the PKI") from None
+
+    def expected_mac(self, node_id: int, digest: bytes) -> bytes:
+        """Oracle: the MAC ``node_id`` would produce over ``digest``."""
+        return self.keypair(node_id).mac(digest)
+
+    def verify_mac(self, node_id: int, digest: bytes, mac: bytes) -> bool:
+        """Check that ``mac`` is ``node_id``'s signature over ``digest``."""
+        if not 0 <= node_id < self.n:
+            return False
+        return self.expected_mac(node_id, digest) == mac
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pki(n={self.n})"

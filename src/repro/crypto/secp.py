@@ -1,0 +1,109 @@
+"""secp256k1-style individual signatures (HotStuff-secp, §1 and §6).
+
+No aggregation: a collection is a set of individual signatures, so quorum
+certificates are O(N) on the wire ("the leader has to relay the full set of
+signatures to all processes", §1) and verifying one costs O(N) individual
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet
+
+from repro.crypto.collection import Collection
+from repro.crypto.costs import CryptoCostModel
+from repro.crypto.keys import KeyPair, Pki, canonical_digest
+from repro.crypto.signature import SignatureScheme
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class SecpSignature:
+    """One process's signature over one value."""
+
+    signer: int
+    value: Any
+    mac: bytes
+
+    def digest(self) -> bytes:
+        return canonical_digest(self.value)
+
+
+class SecpCollection(Collection):
+    """A set of individual signatures; ⊕ is set union."""
+
+    __slots__ = ("_pki", "_costs", "_entries", "_valid_cache")
+
+    def __init__(
+        self,
+        pki: Pki,
+        costs: CryptoCostModel,
+        entries: FrozenSet[SecpSignature] = frozenset(),
+    ):
+        self._pki = pki
+        self._costs = costs
+        self._entries = entries
+        self._valid_cache: Dict[Any, FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------
+    def combine(self, other: Collection) -> "SecpCollection":
+        if not isinstance(other, SecpCollection):
+            raise CryptoError(
+                f"cannot combine secp collection with {type(other).__name__}"
+            )
+        if other._pki is not self._pki:
+            raise CryptoError("cannot combine collections from different PKIs")
+        return SecpCollection(self._pki, self._costs, self._entries | other._entries)
+
+    def has(self, value: Any, threshold: int) -> bool:
+        return len(self.signers_for(value)) >= threshold
+
+    def signers_for(self, value: Any) -> FrozenSet[int]:
+        cached = self._valid_cache.get(value)
+        if cached is not None:
+            return cached
+        digest = canonical_digest(value)
+        valid = frozenset(
+            sig.signer
+            for sig in self._entries
+            if sig.value == value and self._pki.verify_mac(sig.signer, digest, sig.mac)
+        )
+        self._valid_cache[value] = valid
+        return valid
+
+    def cardinality(self) -> int:
+        # Distinct (process, value) tuples; duplicate MACs collapse in the set.
+        return len({(sig.signer, sig.value) for sig in self._entries})
+
+    def values(self) -> FrozenSet[Any]:
+        return frozenset(sig.value for sig in self._entries)
+
+    def wire_size(self) -> int:
+        """8-byte framing plus one full signature per tuple."""
+        return 8 + self._costs.signature_size * len(self._entries)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SecpCollection) and self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SecpCollection({len(self._entries)} sigs)"
+
+
+class SecpScheme(SignatureScheme):
+    """Scheme factory for secp-style signature lists."""
+
+    def new(self, keypair: KeyPair, value: Any) -> SecpCollection:
+        sig = SecpSignature(
+            signer=keypair.node_id,
+            value=value,
+            mac=keypair.mac(canonical_digest(value)),
+        )
+        return SecpCollection(self.pki, self.costs, frozenset([sig]))
+
+    def empty(self) -> SecpCollection:
+        return SecpCollection(self.pki, self.costs)

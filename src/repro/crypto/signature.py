@@ -1,0 +1,81 @@
+"""Abstract signature scheme: collection factory plus CPU-cost accessors.
+
+A scheme binds a PKI to a :class:`~repro.crypto.costs.CryptoCostModel` and
+produces :class:`~repro.crypto.collection.Collection` objects. Protocol
+code charges CPUs via the ``cost_*`` accessors so that the *same* protocol
+logic exhibits each scheme's characteristic bottleneck (§6, §7.4):
+per-signature costs and O(N) quorum verification for secp, pairing costs
+and O(1) aggregate verification for BLS.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.crypto.collection import Collection
+from repro.crypto.costs import BLS_COSTS, SECP_COSTS, CryptoCostModel
+from repro.crypto.keys import KeyPair, Pki
+from repro.errors import CryptoError
+
+
+class SignatureScheme(ABC):
+    """Factory and cost oracle for one scheme over one deployment."""
+
+    def __init__(self, pki: Pki, costs: CryptoCostModel):
+        self.pki = pki
+        self.costs = costs
+
+    @property
+    def name(self) -> str:
+        return self.costs.name
+
+    # ------------------------------------------------------------------
+    # Collection construction
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def new(self, keypair: KeyPair, value: Any) -> Collection:
+        """``new((p, v))``: sign ``value`` with ``keypair`` (§3.3.2)."""
+
+    @abstractmethod
+    def empty(self) -> Collection:
+        """The ⊕-identity collection."""
+
+    # ------------------------------------------------------------------
+    # CPU cost accessors (seconds of simulated compute)
+    # ------------------------------------------------------------------
+    def cost_sign(self) -> float:
+        """Produce one share."""
+        return self.costs.sign_time
+
+    def cost_combine(self, n_inputs: int) -> float:
+        """Merge ``n_inputs`` contributions into an aggregate."""
+        return self.costs.combine_per_input_time * max(0, n_inputs)
+
+    def cost_verify_collection(self, collection: Collection) -> float:
+        """Validate every tuple in a received collection.
+
+        O(cardinality) individual verifications without aggregation; one
+        aggregate check per distinct value with it.
+        """
+        if self.costs.supports_aggregation:
+            return self.costs.aggregate_verify_time * max(1, len(collection.values()))
+        return self.costs.verify_time * collection.cardinality()
+
+    def cost_verify_share(self) -> float:
+        """Validate a single incoming share (e.g. one child's vote)."""
+        if self.costs.supports_aggregation:
+            return self.costs.aggregate_verify_time
+        return self.costs.verify_time
+
+
+def make_scheme(kind: str, pki: Pki, costs: CryptoCostModel = None) -> SignatureScheme:
+    """Build a scheme by name: ``"secp"`` or ``"bls"``."""
+    from repro.crypto.bls import BlsScheme
+    from repro.crypto.secp import SecpScheme
+
+    if kind == "secp":
+        return SecpScheme(pki, costs if costs is not None else SECP_COSTS)
+    if kind == "bls":
+        return BlsScheme(pki, costs if costs is not None else BLS_COSTS)
+    raise CryptoError(f"unknown signature scheme: {kind!r}")

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the Kauri reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class. Kernel-level control-flow exceptions (task
+cancellation) derive from :class:`BaseException`-adjacent ``Exception`` but
+are kept separate from user errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class TopologyError(ReproError):
+    """A topology (tree/star) could not be built or is malformed."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic object failed verification or was misused."""
+
+
+class NetworkError(ReproError):
+    """A network-level invariant was violated (unknown endpoint, bad size)."""
+
+
+class ConsensusError(ReproError):
+    """A consensus-level invariant was violated (conflicting commit, bad QC)."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an internal inconsistency."""
+
+
+class TaskCancelled(ReproError):
+    """Raised inside a simulated task when it is cancelled.
+
+    Protocol coroutines may catch this to run cleanup, but must re-raise
+    (or simply return) promptly so the kernel can retire the task.
+    """

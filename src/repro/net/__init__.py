@@ -1,0 +1,39 @@
+"""Network substrate: links, NICs, channels, shaping, and fault injection.
+
+The fabric models what the paper's Grid'5000 + NetEm testbed provides:
+
+- per-pair propagation delay (RTT/2) and per-process uplink bandwidth
+  (:mod:`repro.net.netem`, :mod:`repro.net.nic`);
+- perfect point-to-point channels (§2), including an explicit
+  retransmission/deduplication implementation over lossy links
+  (:mod:`repro.net.perfect`);
+- impatient channels (Algorithm 1) offering a blocking ``receive`` that
+  returns either the sender's value or ⊥ after the known bound Δ
+  (:mod:`repro.net.impatient`);
+- crash/omission/delay fault injection (:mod:`repro.net.faults`).
+"""
+
+from repro.net.message import Message
+from repro.net.netem import ClusterNetem, HomogeneousNetem, Netem
+from repro.net.nic import Nic
+from repro.net.network import Endpoint, Network
+from repro.net.impatient import BOTTOM, ImpatientChannel
+from repro.net.perfect import ReliableLink
+from repro.net.faults import FaultInjector
+from repro.net.trace import MessageTrace, TraceEvent
+
+__all__ = [
+    "MessageTrace",
+    "TraceEvent",
+    "Message",
+    "Netem",
+    "HomogeneousNetem",
+    "ClusterNetem",
+    "Nic",
+    "Network",
+    "Endpoint",
+    "ImpatientChannel",
+    "BOTTOM",
+    "ReliableLink",
+    "FaultInjector",
+]

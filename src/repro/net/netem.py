@@ -1,0 +1,57 @@
+"""Link shaping: which RTT/bandwidth applies between each pair of processes.
+
+Mirrors the paper's use of NetEm (§7.1): homogeneous scenarios give every
+pair the same parameters; the heterogeneous scenario (§7.9) derives them
+from cluster membership.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.config import ClusterParams, NetworkParams
+
+
+class Netem(Protocol):
+    """Interface: per-pair link parameters."""
+
+    def params_between(self, src: int, dst: int) -> NetworkParams:
+        """Link characteristics for messages from ``src`` to ``dst``."""
+        ...  # pragma: no cover
+
+
+class HomogeneousNetem:
+    """Every pair of processes shares one RTT/bandwidth (§7.1 scenarios)."""
+
+    def __init__(self, params: NetworkParams):
+        self.params = params
+
+    def params_between(self, src: int, dst: int) -> NetworkParams:
+        return self.params
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HomogeneousNetem({self.params.name})"
+
+
+class ClusterNetem:
+    """Cluster-based heterogeneous shaping (§7.9, ResilientDB scenario).
+
+    Pairs inside a cluster get LAN-class parameters; pairs across clusters
+    get the configured inter-cluster parameters. Results are memoised since
+    the fabric queries per message.
+    """
+
+    def __init__(self, clusters: ClusterParams):
+        self.clusters = clusters
+        self._cache: dict = {}
+
+    def params_between(self, src: int, dst: int) -> NetworkParams:
+        key = (src, dst)
+        params = self._cache.get(key)
+        if params is None:
+            params = self.clusters.params_between(src, dst)
+            self._cache[key] = params
+        return params
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClusterNetem({self.clusters.name}, n={self.clusters.n})"

@@ -1,0 +1,249 @@
+"""The network fabric: endpoints, sends, and tag-based receives.
+
+``Network.send`` charges the sender's NIC (serialization at the pair's
+bandwidth), adds the pair's propagation delay, consults the fault injector,
+and delivers into the destination :class:`Endpoint`. Endpoints hand
+messages to blocked ``receive`` coroutines by tag (and optional sender
+filter), queueing unclaimed messages per tag.
+
+Delivered-but-stale traffic is garbage collected by tag prefix when a view
+ends (:meth:`Endpoint.purge`), mirroring a real implementation discarding
+messages from superseded instances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.faults import FaultInjector
+from repro.net.message import Message
+from repro.net.netem import Netem
+from repro.net.nic import Nic
+from repro.sim.engine import Simulator
+from repro.sim.process import TIMEOUT, Signal, WaitSignal
+
+#: Fixed per-message framing overhead (TCP/IP + protocol header), bytes.
+HEADER_BYTES = 64
+
+MatchFn = Callable[[Message], bool]
+
+
+class Endpoint:
+    """Receiving side of one process."""
+
+    def __init__(self, sim: Simulator, node_id: int):
+        self.sim = sim
+        self.node_id = node_id
+        self._inbox: Dict[Hashable, Deque[Message]] = {}
+        self._waiters: Dict[Hashable, List[Tuple[Optional[MatchFn], Signal]]] = {}
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+
+    # ------------------------------------------------------------------
+    def deliver(self, msg: Message) -> None:
+        """Fabric hook: hand ``msg`` to a blocked receiver or queue it."""
+        self.messages_delivered += 1
+        self.bytes_delivered += msg.size
+        waiters = self._waiters.get(msg.tag)
+        if waiters:
+            for entry in waiters:
+                match, signal = entry
+                if signal.fired:
+                    continue
+                if match is None or match(msg):
+                    waiters.remove(entry)
+                    signal.fire(msg)
+                    return
+        self._inbox.setdefault(msg.tag, deque()).append(msg)
+
+    def try_receive(
+        self, tag: Hashable, match: Optional[MatchFn] = None
+    ) -> Optional[Message]:
+        """Non-blocking receive: pop the first queued match, if any."""
+        queue = self._inbox.get(tag)
+        if not queue:
+            return None
+        if match is None:
+            msg = queue.popleft()
+        else:
+            msg = next((m for m in queue if match(m)), None)
+            if msg is None:
+                return None
+            queue.remove(msg)
+        if not queue:
+            del self._inbox[tag]
+        return msg
+
+    def receive(
+        self,
+        tag: Hashable,
+        timeout: Optional[float] = None,
+        match: Optional[MatchFn] = None,
+    ):
+        """Coroutine: block until a message tagged ``tag`` arrives.
+
+        Returns the :class:`Message`, or :data:`~repro.sim.TIMEOUT` if
+        ``timeout`` elapses first. ``match`` filters candidates (e.g. by
+        sender). Cancellation-safe: a cancelled receiver never consumes a
+        message.
+        """
+        msg = self.try_receive(tag, match)
+        if msg is not None:
+            return msg
+        signal = Signal()
+        entry = (match, signal)
+        self._waiters.setdefault(tag, []).append(entry)
+        try:
+            result = yield WaitSignal(signal, timeout)
+        finally:
+            waiters = self._waiters.get(tag)
+            if waiters is not None:
+                try:
+                    waiters.remove(entry)
+                except ValueError:
+                    pass
+                if not waiters:
+                    del self._waiters[tag]
+        return result  # Message or TIMEOUT
+
+    # ------------------------------------------------------------------
+    def purge(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop queued messages whose tag satisfies ``predicate``.
+
+        Returns the number of messages discarded. Blocked waiters are left
+        alone (their owning tasks are cancelled separately on view change).
+        """
+        doomed = [tag for tag in self._inbox if predicate(tag)]
+        dropped = 0
+        for tag in doomed:
+            dropped += len(self._inbox.pop(tag))
+        return dropped
+
+    @property
+    def queued_messages(self) -> int:
+        return sum(len(q) for q in self._inbox.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Endpoint(node={self.node_id}, queued={self.queued_messages})"
+
+
+class Network:
+    """Full-mesh fabric over a :class:`~repro.net.netem.Netem` shaper."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        netem: Netem,
+        faults: Optional[FaultInjector] = None,
+        header_bytes: int = HEADER_BYTES,
+        uplink_lanes: int = 1,
+    ):
+        self.sim = sim
+        self.netem = netem
+        self.faults = faults if faults is not None else FaultInjector(sim)
+        self.header_bytes = header_bytes
+        self.uplink_lanes = uplink_lanes
+        self.endpoints: Dict[int, Endpoint] = {}
+        self.nics: Dict[int, Nic] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self._uid = 0
+        #: Optional observers called as f(kind, msg, time) on "send",
+        #: "deliver" and "drop" events (see repro.net.trace.MessageTrace).
+        self.observers: List[Callable[[str, Message, float], None]] = []
+
+    def _notify(self, kind: str, msg: Message) -> None:
+        for observer in self.observers:
+            observer(kind, msg, self.sim.now)
+
+    # ------------------------------------------------------------------
+    def register(self, node_id: int) -> Endpoint:
+        """Create (or return) the endpoint and NIC for ``node_id``."""
+        if node_id not in self.endpoints:
+            self.endpoints[node_id] = Endpoint(self.sim, node_id)
+            self.nics[node_id] = Nic(
+                self.sim, name=f"nic-{node_id}", lanes=self.uplink_lanes
+            )
+        return self.endpoints[node_id]
+
+    def endpoint(self, node_id: int) -> Endpoint:
+        """The registered endpoint of ``node_id`` (raises if unknown)."""
+        try:
+            return self.endpoints[node_id]
+        except KeyError:
+            raise NetworkError(f"process {node_id} is not registered") from None
+
+    def nic(self, node_id: int) -> Nic:
+        """The registered NIC of ``node_id`` (raises if unknown)."""
+        try:
+            return self.nics[node_id]
+        except KeyError:
+            raise NetworkError(f"process {node_id} is not registered") from None
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        tag: Hashable,
+        payload: Any,
+        size: int,
+    ) -> Message:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        The message occupies the sender's NIC for ``(size + header) * 8 /
+        bandwidth`` seconds, then arrives ``propagation_delay`` (plus any
+        injected delay) later -- unless a fault drops it. Self-sends are
+        delivered immediately without touching the NIC.
+        """
+        if src not in self.endpoints or dst not in self.endpoints:
+            raise NetworkError(f"send between unregistered processes {src}->{dst}")
+        self._uid += 1
+        msg = Message(
+            src=src, dst=dst, tag=tag, payload=payload, size=size,
+            sent_at=self.sim.now, uid=self._uid,
+        )
+        self.messages_sent += 1
+        if self.observers:
+            self._notify("send", msg)
+        if self.faults.is_crashed(src):
+            self.faults.dropped_messages += 1
+            if self.observers:
+                self._notify("drop", msg)
+            return msg
+        if src == dst:
+            self._deliver(msg)
+            return msg
+        params = self.netem.params_between(src, dst)
+        wire_size = size + self.header_bytes
+
+        def after_serialization() -> None:
+            if self.faults.should_drop(msg):
+                if self.observers:
+                    self._notify("drop", msg)
+                return
+            delay = params.propagation_delay + self.faults.extra_delay(msg)
+            self.sim.schedule(delay, self._deliver, msg)
+
+        self.nics[src].transmit(wire_size, params.bandwidth_bps, after_serialization)
+        return msg
+
+    def _deliver(self, msg: Message) -> None:
+        if self.faults.is_crashed(msg.dst):
+            self.faults.dropped_messages += 1
+            if self.observers:
+                self._notify("drop", msg)
+            return
+        msg.delivered_at = self.sim.now
+        self.messages_delivered += 1
+        if self.observers:
+            self._notify("deliver", msg)
+        self.endpoints[msg.dst].deliver(msg)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(n={len(self.endpoints)}, sent={self.messages_sent}, "
+            f"delivered={self.messages_delivered})"
+        )

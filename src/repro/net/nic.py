@@ -1,0 +1,98 @@
+"""Per-process network interface: FIFO serialization at link bandwidth.
+
+This is where the paper's *sending time* (§4.3) physically happens: a node
+sending a block to its ``m`` children occupies its uplink for
+``m * block_size / bandwidth`` seconds, which is why a tree's root finishes
+its dissemination phase ``(N-1)/m`` times sooner than a star's leader.
+
+Messages are serialized strictly in enqueue order. Queueing delay (time a
+message waits behind earlier traffic) is tracked so experiments can observe
+over-pipelining: a proposal interval shorter than the sending time makes
+the backlog grow without bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.sim.engine import Simulator
+
+
+class Nic:
+    """Outgoing interface of one process.
+
+    Bandwidth is supplied per transmit call (heterogeneous deployments have
+    different rates per destination cluster); serialization is FIFO over
+    ``lanes`` parallel queues. ``lanes=1`` (the default) is the strict
+    per-process-uplink model the §4.3 formulas assume: one message at a
+    time at the scenario's link rate. Higher lane counts approximate the
+    paper's physical testbed, where NetEm shapes each *pair* to the link
+    rate but a machine's NIC carries several such streams concurrently --
+    the knob the uplink-model ablation bench sweeps.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "nic", lanes: int = 1):
+        if lanes < 1:
+            raise NetworkError(f"need at least one lane, got {lanes}")
+        self.sim = sim
+        self.name = name
+        self.lanes = lanes
+        self._lane_busy_until = [0.0] * lanes
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.total_queueing_delay = 0.0
+        self.total_tx_time = 0.0
+        self.max_backlog = 0.0
+
+    def transmit(
+        self,
+        size_bytes: int,
+        bandwidth_bps: float,
+        on_serialized: Callable[[], None],
+    ) -> float:
+        """Enqueue ``size_bytes`` for serialization; returns completion time.
+
+        ``on_serialized`` fires when the last bit leaves the interface
+        (propagation is the caller's concern). Infinite bandwidth
+        (``math.inf``) serializes instantly -- used for the paper's
+        "idealized infinite bandwidth" latency floor (§7.6).
+        """
+        if size_bytes < 0:
+            raise NetworkError(f"negative transmit size: {size_bytes}")
+        if bandwidth_bps <= 0:
+            raise NetworkError(f"non-positive bandwidth: {bandwidth_bps}")
+        now = self.sim.now
+        tx_time = 0.0 if math.isinf(bandwidth_bps) else size_bytes * 8.0 / bandwidth_bps
+        lane = min(range(self.lanes), key=self._lane_busy_until.__getitem__)
+        start = max(now, self._lane_busy_until[lane])
+        queueing = start - now
+        done = start + tx_time
+        self._lane_busy_until[lane] = done
+        self.bytes_sent += size_bytes
+        self.messages_sent += 1
+        self.total_queueing_delay += queueing
+        self.total_tx_time += tx_time
+        self.max_backlog = max(self.max_backlog, done - now)
+        self.sim.schedule_at(done, on_serialized)
+        return done
+
+    @property
+    def backlog(self) -> float:
+        """Seconds until a newly enqueued message could start serializing."""
+        return max(0.0, min(self._lane_busy_until) - self.sim.now)
+
+    @property
+    def busy(self) -> bool:
+        return any(t > self.sim.now for t in self._lane_busy_until)
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of aggregate capacity spent serializing since ``since``."""
+        elapsed = (self.sim.now - since) * self.lanes
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.total_tx_time / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Nic({self.name!r}, backlog={self.backlog:.4f}s)"

@@ -1,0 +1,88 @@
+"""Optional message tracing.
+
+A :class:`MessageTrace` subscribes to a network's observer hook and records
+one event per send/drop/delivery into a bounded ring buffer, with running
+counts by message kind (the first element of tuple tags). Used for
+debugging, for the observability tests, and for protocol-flow assertions
+(e.g. "proposals travel strictly level by level down the tree").
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Hashable, Optional
+
+from repro.net.message import Message
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One network-level event."""
+
+    time: float
+    kind: str  # "send" | "deliver" | "drop"
+    src: int
+    dst: int
+    tag: Hashable
+    size: int
+
+    @property
+    def tag_kind(self) -> str:
+        if isinstance(self.tag, tuple) and self.tag:
+            return str(self.tag[0])
+        return str(self.tag)
+
+
+class MessageTrace:
+    """Bounded trace of network events with per-kind counters."""
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.counts: Counter = Counter()
+        self.bytes_by_kind: Counter = Counter()
+
+    def __call__(self, kind: str, msg: Message, time: float) -> None:
+        """Observer hook invoked by the network."""
+        event = TraceEvent(
+            time=time, kind=kind, src=msg.src, dst=msg.dst, tag=msg.tag,
+            size=msg.size,
+        )
+        self.events.append(event)
+        self.counts[(kind, event.tag_kind)] += 1
+        if kind == "send":
+            self.bytes_by_kind[event.tag_kind] += msg.size
+
+    # ------------------------------------------------------------------
+    def sends(self, tag_kind: Optional[str] = None):
+        return [
+            e
+            for e in self.events
+            if e.kind == "send" and (tag_kind is None or e.tag_kind == tag_kind)
+        ]
+
+    def deliveries(self, tag_kind: Optional[str] = None):
+        return [
+            e
+            for e in self.events
+            if e.kind == "deliver" and (tag_kind is None or e.tag_kind == tag_kind)
+        ]
+
+    def summary(self) -> dict:
+        """Counts and bytes per message kind."""
+        kinds = {kind for _, kind in self.counts}
+        return {
+            kind: {
+                "sent": self.counts[("send", kind)],
+                "delivered": self.counts[("deliver", kind)],
+                "dropped": self.counts[("drop", kind)],
+                "bytes": self.bytes_by_kind[kind],
+            }
+            for kind in sorted(kinds)
+        }
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,34 @@
+"""Deployment runtime: clusters, workloads, metrics, and experiments.
+
+:class:`~repro.runtime.cluster.Cluster` wires a full deployment together
+(simulator, PKI, network shaping, reconfiguration policy, protocol nodes,
+fault plan) and runs it to a stop condition. The experiment helpers on top
+reproduce the paper's measurement methodology: warm-up exclusion,
+throughput over a steady-state window, latency percentiles, and testbed
+saturation flags (the paper's red circles).
+"""
+
+from repro.runtime.metrics import CommitRecord, Metrics
+from repro.runtime.clients import (
+    ClientHarness,
+    MempoolWorkload,
+    PoissonWorkload,
+    SaturatedWorkload,
+    Tx,
+)
+from repro.runtime.cluster import Cluster, build_cluster_tree
+from repro.runtime.experiment import ExperimentResult, run_experiment
+
+__all__ = [
+    "Metrics",
+    "CommitRecord",
+    "SaturatedWorkload",
+    "PoissonWorkload",
+    "MempoolWorkload",
+    "ClientHarness",
+    "Tx",
+    "Cluster",
+    "build_cluster_tree",
+    "ExperimentResult",
+    "run_experiment",
+]

@@ -1,0 +1,268 @@
+"""Client workloads: how blocks get filled (paper §2's client processes).
+
+The evaluation drives the system with saturating load and varies the block
+size (§7.7: "vary the load in the system by manipulating the block size,
+i.e. the number of transactions offered by the client"). Accordingly:
+
+- :class:`SaturatedWorkload` always fills blocks to the configured size --
+  the benchmark default.
+- :class:`PoissonWorkload` models an open-loop client population with a
+  finite transaction arrival rate; blocks carry whatever accumulated since
+  the previous proposal (capped at the block size), exercising the partial
+  -block path used in examples and tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.config import ProtocolConfig
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BlockFill:
+    """What the leader packs into one proposal."""
+
+    payload_size: int
+    num_txs: int
+    tx_ids: Tuple = ()
+
+
+@dataclass(frozen=True)
+class Tx:
+    """One client transaction (identity + accounting only)."""
+
+    tx_id: Tuple[int, int]  # (client id, sequence number)
+    size: int
+    submitted_at: float
+
+
+class SaturatedWorkload:
+    """Clients always have a full block's worth of transactions queued."""
+
+    def __init__(self, config: ProtocolConfig):
+        self.config = config
+
+    def next_fill(self, now: float) -> BlockFill:
+        return BlockFill(self.config.block_size, self.config.txs_per_block)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SaturatedWorkload(block={self.config.block_size}B)"
+
+
+class MempoolWorkload:
+    """A leader-side mempool fed by real client submissions (§2's client
+    processes).
+
+    Client batches arrive over the network (see :class:`ClientHarness`);
+    the node's client pump calls :meth:`ingest`, and each proposal drains
+    the oldest transactions up to the block size. Carries transaction ids
+    into blocks so end-to-end (submit-to-commit) latency is measurable.
+    """
+
+    def __init__(self, config: ProtocolConfig):
+        self.config = config
+        self._pending: "deque[Tx]" = deque()
+        self.ingested = 0
+
+    def ingest(self, txs) -> None:
+        for tx in txs:
+            if isinstance(tx, Tx):
+                self._pending.append(tx)
+                self.ingested += 1
+
+    def next_fill(self, now: float) -> BlockFill:
+        taken = []
+        payload = 0
+        while self._pending and payload + self._pending[0].size <= self.config.block_size:
+            tx = self._pending.popleft()
+            payload += tx.size
+            taken.append(tx)
+        return BlockFill(payload, len(taken), tuple(tx.tx_id for tx in taken))
+
+    @property
+    def queued_txs(self) -> int:
+        return len(self._pending)
+
+
+class _ClientAwareNetem:
+    """Netem wrapper mapping client process ids onto host-node parameters.
+
+    Clients get ids ``n, n+1, ...``; cluster-based shapers only know
+    processes ``0..n-1``, so a client inherits the link characteristics of
+    the node ``id mod n`` (its "access point")."""
+
+    def __init__(self, base, n: int):
+        self._base = base
+        self._n = n
+
+    def _map(self, process: int) -> int:
+        return process if process < self._n else process % self._n
+
+    def params_between(self, src: int, dst: int):
+        return self._base.params_between(self._map(src), self._map(dst))
+
+
+class ClientHarness:
+    """Real client processes (§2) submitting transactions over the network.
+
+    Each client batches transactions every ``batch_interval`` seconds and
+    sends them to the replica it currently believes is the leader; replica
+    mempools (:class:`MempoolWorkload`) drain them into blocks; commit
+    notifications close the loop, yielding end-to-end (submit-to-commit)
+    latency. Transactions addressed to a deposed leader are simply lost --
+    clients here do not retransmit (tracked in :attr:`lost_estimate`).
+
+    Usage::
+
+        cluster = Cluster(n=7, ..., workload_factory=MempoolWorkload factory)
+        harness = ClientHarness(cluster, num_clients=4, rate_txs=500.0)
+        harness.start()
+        cluster.run(duration=20.0)
+        print(harness.e2e_latency_stats())
+    """
+
+    def __init__(
+        self,
+        cluster,
+        num_clients: int = 4,
+        rate_txs: float = 500.0,
+        batch_interval: float = 0.2,
+    ):
+        if num_clients < 1:
+            raise ConfigError(f"need at least one client, got {num_clients}")
+        if rate_txs <= 0 or batch_interval <= 0:
+            raise ConfigError("rate and batch interval must be positive")
+        self.cluster = cluster
+        self.num_clients = num_clients
+        self.rate_txs = rate_txs
+        self.batch_interval = batch_interval
+        self.tx_size = cluster.config.tx_size
+        self.submitted: dict = {}
+        self.e2e_latencies: List[float] = []
+        self._client_ids = [cluster.n + k for k in range(num_clients)]
+        cluster.network.netem = _ClientAwareNetem(cluster.network.netem, cluster.n)
+        for client_id in self._client_ids:
+            cluster.network.register(client_id)
+        cluster.metrics.commit_listeners.append(self._on_commit)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn one submission loop per client (call after wiring)."""
+        from repro.core.node import CLIENT_TX_TAG
+        from repro.sim.process import Sleep, spawn
+
+        per_client_rate = self.rate_txs / self.num_clients
+
+        def client_loop(client_id):
+            seq = 0
+            backlog = 0.0
+            while True:
+                yield Sleep(self.batch_interval)
+                backlog += per_client_rate * self.batch_interval
+                count = int(backlog)
+                backlog -= count
+                if count == 0:
+                    continue
+                now = self.cluster.sim.now
+                batch = []
+                for _ in range(count):
+                    tx = self._make_tx(client_id, seq, now)
+                    self.submitted[tx.tx_id] = now
+                    batch.append(tx)
+                    seq += 1
+                leader = self._current_leader()
+                self.cluster.network.send(
+                    client_id, leader, CLIENT_TX_TAG, batch,
+                    size=count * self.tx_size,
+                )
+
+        for client_id in self._client_ids:
+            spawn(self.cluster.sim, client_loop(client_id), name=f"client-{client_id}")
+
+    def _make_tx(self, client_id: int, seq: int, now: float) -> Tx:
+        """Hook: build one transaction (overridden by application-level
+        harnesses that attach operation payloads, e.g. the KV store)."""
+        return Tx((client_id, seq), self.tx_size, now)
+
+    def _current_leader(self) -> int:
+        views = [
+            node.view for node in self.cluster.nodes if not node.stopped
+        ] or [0]
+        return self.cluster.policy.leader_of(max(max(views), 0))
+
+    def _on_commit(self, record, block) -> None:
+        for tx_id in block.tx_ids:
+            submitted_at = self.submitted.pop(tx_id, None)
+            if submitted_at is not None:
+                self.e2e_latencies.append(record.time - submitted_at)
+
+    # ------------------------------------------------------------------
+    @property
+    def committed_txs(self) -> int:
+        return len(self.e2e_latencies)
+
+    @property
+    def lost_estimate(self) -> int:
+        """Submitted transactions not (yet) committed."""
+        return len(self.submitted)
+
+    def e2e_latency_stats(self) -> dict:
+        from repro.runtime.metrics import percentile
+
+        if not self.e2e_latencies:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0}
+        values = sorted(self.e2e_latencies)
+        return {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "p50": percentile(values, 50),
+            "p95": percentile(values, 95),
+        }
+
+
+class PoissonWorkload:
+    """Open-loop arrivals at ``rate_txs`` transactions per second.
+
+    Deterministic given the RNG: arrivals are accounted in continuous time
+    (expected counts, with optional jitter), so the workload composes with
+    the deterministic simulator.
+    """
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        rate_txs: float,
+        rng: random.Random = None,
+        jitter: bool = True,
+    ):
+        if rate_txs < 0:
+            raise ConfigError(f"negative arrival rate: {rate_txs}")
+        self.config = config
+        self.rate_txs = rate_txs
+        self.rng = rng if rng is not None else random.Random(0)
+        self.jitter = jitter
+        self._last_drain = 0.0
+        self._backlog = 0.0  # fractional queued transactions
+
+    def next_fill(self, now: float) -> BlockFill:
+        elapsed = max(0.0, now - self._last_drain)
+        self._last_drain = now
+        arrivals = self.rate_txs * elapsed
+        if self.jitter and arrivals > 0:
+            arrivals = max(0.0, self.rng.gauss(arrivals, arrivals ** 0.5))
+        self._backlog += arrivals
+        take = min(int(self._backlog), self.config.txs_per_block)
+        self._backlog -= take
+        return BlockFill(take * self.config.tx_size, take)
+
+    @property
+    def queued_txs(self) -> int:
+        return int(self._backlog)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PoissonWorkload(rate={self.rate_txs}/s)"

@@ -1,0 +1,290 @@
+"""Deployment builder: one object wiring simulator, network, crypto,
+topology policy, protocol nodes and fault plan together.
+
+Mirrors the paper's experimental setup (§7.1): pick a scenario (global /
+regional / national / heterogeneous), a system size, a protocol mode, a
+block size, and run for a simulated duration or block budget.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import (
+    ClusterParams,
+    NetworkParams,
+    ProtocolConfig,
+    SCENARIOS,
+    max_faults,
+)
+from repro.core.modes import ModeSpec, mode_spec
+from repro.core.node import ProtocolNode
+from repro.core.perfmodel import PerfModel
+from repro.crypto.keys import Pki
+from repro.crypto.signature import make_scheme
+from repro.errors import ConfigError, ConsensusError
+from repro.net.faults import FaultInjector
+from repro.net.netem import ClusterNetem, HomogeneousNetem, Netem
+from repro.net.network import Network
+from repro.runtime.metrics import Metrics
+from repro.sim.engine import Simulator
+from repro.topology.reconfig import FixedTopologyPolicy, ReconfigurationPolicy
+from repro.topology.tree import Tree
+
+
+def build_cluster_tree(clusters: ClusterParams) -> Tree:
+    """The §7.9 hand-placed heterogeneous tree.
+
+    The root goes to the best-connected cluster (cluster 0 / Oregon); one
+    internal node heads each cluster, with its cluster's remaining members
+    as its leaves ("internal nodes are located closely to their leaf
+    nodes").
+    """
+    root = next(iter(clusters.members(0)))
+    children: Dict[int, List[int]] = {root: []}
+    for cluster_index in range(len(clusters.cluster_sizes)):
+        members = [p for p in clusters.members(cluster_index) if p != root]
+        if not members:
+            continue
+        head = members[0]
+        children[root].append(head)
+        if len(members) > 1:
+            children[head] = members[1:]
+    return Tree(root, children)
+
+
+def representative_params(clusters: ClusterParams) -> NetworkParams:
+    """A single (RTT, bandwidth) summarising the leader's inter-cluster
+    links, for the performance model in heterogeneous deployments."""
+    root = next(iter(clusters.members(0)))
+    links = [
+        clusters.params_between(root, next(iter(clusters.members(c))))
+        for c in range(1, len(clusters.cluster_sizes))
+    ]
+    mean_rtt = sum(link.rtt for link in links) / len(links)
+    min_bw = min(link.bandwidth_bps for link in links)
+    return NetworkParams("representative", rtt=mean_rtt, bandwidth_bps=min_bw)
+
+
+class Cluster:
+    """A fully wired deployment, ready to run."""
+
+    def __init__(
+        self,
+        n: int = None,
+        mode: Union[str, ModeSpec] = "kauri",
+        scenario: Union[str, NetworkParams, ClusterParams] = "global",
+        config: Optional[ProtocolConfig] = None,
+        height: int = 2,
+        root_fanout: Optional[int] = None,
+        seed: int = 0,
+        crashes: Sequence[Tuple[int, float]] = (),
+        byzantine: Optional[Dict[int, Callable[..., ProtocolNode]]] = None,
+        workload_factory: Optional[Callable[[int], Any]] = None,
+        uplink_lanes: int = 1,
+        strict: bool = True,
+    ):
+        self.mode = mode_spec(mode) if isinstance(mode, str) else mode
+        self.config = config if config is not None else ProtocolConfig()
+        self.scenario, self.netem, self._model_params = self._resolve_scenario(scenario)
+        if isinstance(self.scenario, ClusterParams):
+            if n is not None and n != self.scenario.n:
+                raise ConfigError(
+                    f"n={n} conflicts with cluster deployment of {self.scenario.n}"
+                )
+            n = self.scenario.n
+        if n is None:
+            raise ConfigError("system size n is required")
+        if n < 4:
+            raise ConfigError(f"BFT needs n >= 4, got {n}")
+        self.n = n
+        self.f = max_faults(n)
+
+        self.sim = Simulator(seed=seed, strict=strict)
+        self.faults = FaultInjector(self.sim)
+        self.network = Network(
+            self.sim, self.netem, faults=self.faults, uplink_lanes=uplink_lanes
+        )
+        self.pki = Pki(n, seed=seed)
+        self.scheme = make_scheme(self.mode.scheme, self.pki)
+        self.metrics = Metrics(self.sim)
+        self.policy = self._build_policy(height, root_fanout)
+        self._model_cache: Dict[Tuple[int, int], PerfModel] = {}
+
+        byzantine = byzantine or {}
+        default_factory: Callable[..., ProtocolNode] = ProtocolNode
+        if self.mode.name == "pbft":
+            from repro.consensus.pbft import PbftNode
+
+            default_factory = PbftNode
+        self.nodes: List[ProtocolNode] = []
+        for node_id in range(n):
+            factory = byzantine.get(node_id, default_factory)
+            workload = workload_factory(node_id) if workload_factory else None
+            node = factory(
+                node_id=node_id,
+                sim=self.sim,
+                network=self.network,
+                scheme=self.scheme,
+                policy=self.policy,
+                config=self.config,
+                mode=self.mode,
+                model_factory=self.model_for,
+                metrics=self.metrics,
+                workload=workload,
+            )
+            self.nodes.append(node)
+            if node_id in byzantine:
+                self.faults.mark_byzantine(node_id)
+
+        for node_id, when in crashes:
+            self.crash_at(node_id, when)
+
+    # ------------------------------------------------------------------
+    # Wiring helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_scenario(scenario) -> Tuple[Any, Netem, NetworkParams]:
+        if isinstance(scenario, str):
+            try:
+                scenario = SCENARIOS[scenario]
+            except KeyError:
+                raise ConfigError(
+                    f"unknown scenario {scenario!r}; available: {sorted(SCENARIOS)}"
+                ) from None
+        if isinstance(scenario, NetworkParams):
+            return scenario, HomogeneousNetem(scenario), scenario
+        if isinstance(scenario, ClusterParams):
+            return scenario, ClusterNetem(scenario), representative_params(scenario)
+        raise ConfigError(f"unsupported scenario object: {scenario!r}")
+
+    def _build_policy(self, height: int, root_fanout: Optional[int]):
+        if isinstance(self.scenario, ClusterParams) and self.mode.uses_tree:
+            return FixedTopologyPolicy(build_cluster_tree(self.scenario))
+        if self.mode.uses_tree:
+            return ReconfigurationPolicy(
+                range(self.n), height=height, root_fanout=root_fanout
+            )
+        return ReconfigurationPolicy.star_policy(range(self.n))
+
+    def model_for(self, tree: Tree) -> PerfModel:
+        """The §4.3 model for ``tree``, cached per (height, root fanout)."""
+        key = (tree.height, tree.fanout(tree.root))
+        model = self._model_cache.get(key)
+        if model is None:
+            widest = max(tree.fanout(node) for node in tree.nodes)
+            model = PerfModel.for_topology(
+                n=self.n,
+                height=max(1, tree.height),
+                root_fanout=max(1, tree.fanout(tree.root)),
+                params=self._model_params,
+                block_size=self.config.block_size,
+                costs=self.scheme.costs,
+                bottleneck_fanout=max(1, widest),
+                uplink_lanes=self.network.uplink_lanes,
+            )
+            self._model_cache[key] = model
+        return model
+
+    # ------------------------------------------------------------------
+    # Fault plan
+    # ------------------------------------------------------------------
+    def crash_at(self, node_id: int, when: float) -> None:
+        """Crash ``node_id`` at simulated ``when``: drop its traffic and
+        halt its protocol tasks."""
+        self.faults.crash_at(node_id, when)
+        self.sim.schedule_at(when, self.nodes[node_id].stop)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot every replica (crashed-at-0 nodes stop immediately)."""
+        for node in self.nodes:
+            node.start()
+
+    def run(
+        self,
+        duration: Optional[float] = None,
+        max_commits: Optional[int] = None,
+    ) -> None:
+        """Run until ``duration`` simulated seconds or ``max_commits``
+        committed blocks, whichever comes first."""
+        if duration is None and max_commits is None:
+            raise ConfigError("need a stop condition (duration or max_commits)")
+        if max_commits is not None:
+            check_interval = 0.25
+
+            def watchdog() -> None:
+                if self.metrics.committed_blocks >= max_commits:
+                    self.sim.stop()
+                else:
+                    self.sim.schedule(check_interval, watchdog)
+
+            self.sim.schedule(check_interval, watchdog)
+        self.sim.run(until=duration)
+
+    # ------------------------------------------------------------------
+    # Invariant checks
+    # ------------------------------------------------------------------
+    def check_agreement(self) -> None:
+        """Cross-replica safety: no two correct replicas committed different
+        blocks at the same height. Raises on violation."""
+        chains: Dict[int, str] = {}
+        for node in self.nodes:
+            if self.faults.is_byzantine(node.node_id):
+                continue
+            for block in node.store.commit_log:
+                seen = chains.get(block.height)
+                if seen is None:
+                    chains[block.height] = block.hash
+                elif seen != block.hash:
+                    raise ConsensusError(
+                        f"AGREEMENT VIOLATION at height {block.height}: "
+                        f"{seen} vs {block.hash}"
+                    )
+
+    def correct_nodes(self) -> List[ProtocolNode]:
+        """Nodes that are neither crashed nor designated Byzantine."""
+        return [
+            node
+            for node in self.nodes
+            if node.node_id not in self.faults.faulty
+        ]
+
+    @property
+    def leader_cpu_utilization(self) -> float:
+        """CPU utilization of the current view-0 root -- saturation flag."""
+        root = self.policy.leader_of(0)
+        return self.nodes[root].cpu.utilization()
+
+    def stats_summary(self) -> Dict[str, Any]:
+        """Aggregate observability snapshot for debugging and reports."""
+        nics = [self.network.nic(node.node_id) for node in self.nodes]
+        cpus = [node.cpu for node in self.nodes]
+        root = self.policy.leader_of(0)
+        return {
+            "now": self.sim.now,
+            "events_processed": self.sim.events_processed,
+            "messages_sent": self.network.messages_sent,
+            "messages_delivered": self.network.messages_delivered,
+            "messages_dropped": self.faults.dropped_messages,
+            "bytes_sent_total": sum(nic.bytes_sent for nic in nics),
+            "bytes_sent_leader": self.network.nic(root).bytes_sent,
+            "max_nic_backlog": max(nic.max_backlog for nic in nics),
+            "cpu_busy_total": sum(cpu.busy_time for cpu in cpus),
+            "leader_cpu_utilization": self.leader_cpu_utilization,
+            "committed_blocks": self.metrics.committed_blocks,
+            "view_changes": len(self.metrics.view_changes),
+            "max_view": self.metrics.max_view,
+            "instance_failures": sum(n.instance_failures for n in self.nodes),
+            "queued_messages": sum(
+                self.network.endpoint(n.node_id).queued_messages for n in self.nodes
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(n={self.n}, mode={self.mode.name}, "
+            f"scenario={getattr(self.scenario, 'name', self.scenario)})"
+        )

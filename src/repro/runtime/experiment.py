@@ -1,0 +1,116 @@
+"""Experiment harness: run one configuration and extract paper-style metrics.
+
+Implements the measurement methodology of §7: run the deployment to a stop
+condition, discard a warm-up prefix, report steady-state throughput
+(transactions/second), latency percentiles, and flag CPU saturation (the
+paper's red circles mark "data points obtained in a saturated testbed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from repro.config import ProtocolConfig
+from repro.runtime.cluster import Cluster
+
+
+@dataclass
+class ExperimentResult:
+    """Steady-state measurements of one run."""
+
+    mode: str
+    scenario: str
+    n: int
+    block_size: int
+    stretch: Optional[float]
+    duration: float
+    warmup: float
+    throughput_txs: float
+    throughput_blocks: float
+    latency: Dict[str, float]
+    committed_blocks: int
+    view_changes: int
+    max_view: int
+    cpu_saturated: bool
+    leader_cpu_utilization: float
+    instance_failures: int
+
+    def row(self) -> Tuple:
+        """Compact tuple for table printing."""
+        return (
+            self.mode,
+            self.scenario,
+            self.n,
+            round(self.throughput_txs, 1),
+            round(self.latency.get("p50", 0.0), 3),
+            "SAT" if self.cpu_saturated else "",
+        )
+
+
+def run_experiment(
+    mode: str = "kauri",
+    scenario: Union[str, Any] = "global",
+    n: int = 100,
+    block_size: Optional[int] = None,
+    stretch: Optional[float] = None,
+    height: int = 2,
+    root_fanout: Optional[int] = None,
+    duration: float = 60.0,
+    warmup_fraction: float = 0.25,
+    max_commits: Optional[int] = None,
+    seed: int = 0,
+    config: Optional[ProtocolConfig] = None,
+    crashes: Sequence[Tuple[int, float]] = (),
+    uplink_lanes: int = 1,
+    saturation_threshold: float = 0.95,
+) -> ExperimentResult:
+    """Build, run, and measure one deployment.
+
+    ``stretch=None`` lets Kauri follow the performance model (§7.2);
+    explicit values reproduce the stretch sweeps (Figure 5). ``max_commits``
+    bounds simulation cost for fast configurations without biasing
+    throughput (the window is still wall-clock based).
+    """
+    cfg = config if config is not None else ProtocolConfig()
+    if block_size is not None:
+        cfg = cfg.with_block_size(block_size)
+    if stretch is not None:
+        cfg = cfg.with_stretch(stretch)
+    cluster = Cluster(
+        n=n,
+        mode=mode,
+        scenario=scenario,
+        config=cfg,
+        height=height,
+        root_fanout=root_fanout,
+        seed=seed,
+        crashes=crashes,
+        uplink_lanes=uplink_lanes,
+    )
+    cluster.start()
+    cluster.run(duration=duration, max_commits=max_commits)
+    cluster.check_agreement()
+
+    end = cluster.sim.now
+    warmup = min(end * warmup_fraction, end)
+    metrics = cluster.metrics
+    utilization = cluster.leader_cpu_utilization
+    return ExperimentResult(
+        mode=cluster.mode.name,
+        scenario=getattr(cluster.scenario, "name", str(cluster.scenario)),
+        n=cluster.n,
+        block_size=cfg.block_size,
+        stretch=cfg.stretch,
+        duration=end,
+        warmup=warmup,
+        throughput_txs=metrics.throughput_txs(start=warmup),
+        throughput_blocks=metrics.throughput_blocks(start=warmup),
+        latency=metrics.latency_stats(start=warmup),
+        committed_blocks=metrics.committed_blocks,
+        view_changes=len(metrics.view_changes),
+        max_view=metrics.max_view,
+        cpu_saturated=utilization >= saturation_threshold,
+        leader_cpu_utilization=utilization,
+        instance_failures=sum(node.instance_failures for node in cluster.nodes),
+    )

@@ -1,0 +1,172 @@
+"""Run metrics: commits, latency, view changes, time series.
+
+Measurement conventions (matching §7):
+
+- *Throughput* counts each height once, at the moment the **first** correct
+  replica commits it (transactions per second over a window, excluding
+  warm-up).
+- *Latency* is proposal-to-first-commit per block -- the consensus latency
+  the paper plots.
+- *Time series* bucket committed transactions per second, used for the
+  reconfiguration plots (Figure 12).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.consensus.block import Block
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """First commit of one height."""
+
+    height: int
+    block_hash: str
+    time: float
+    latency: float
+    num_txs: int
+    payload_size: int
+    first_committer: int
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of pre-sorted values (p in [0, 100])."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile out of range: {p}")
+    rank = max(1, math.ceil(p / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class Metrics:
+    """Collector shared by every node of one deployment."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.first_commits: Dict[int, CommitRecord] = {}
+        self.commits_per_node: Counter = Counter()
+        self.view_changes: List[Tuple[float, int, int]] = []  # (time, node, view)
+        self.commit_events: List[Tuple[float, int]] = []  # (time, num_txs)
+        #: Callbacks fired on each height's *first* commit: f(record, block).
+        self.commit_listeners: List = []
+
+    # ------------------------------------------------------------------
+    # Recording (called by protocol nodes)
+    # ------------------------------------------------------------------
+    def on_commit(self, node_id: int, block: Block, time: float) -> None:
+        """Record a replica committing a block (first commit per height
+        defines the global record and fires the listeners)."""
+        self.commits_per_node[node_id] += 1
+        if block.height in self.first_commits:
+            return
+        record = CommitRecord(
+            height=block.height,
+            block_hash=block.hash,
+            time=time,
+            latency=time - block.created_at,
+            num_txs=block.num_txs,
+            payload_size=block.payload_size,
+            first_committer=node_id,
+        )
+        self.first_commits[block.height] = record
+        self.commit_events.append((time, block.num_txs))
+        for listener in self.commit_listeners:
+            listener(record, block)
+
+    def on_view_change(self, node_id: int, view: int, time: float) -> None:
+        """Record one replica advancing to ``view``."""
+        self.view_changes.append((time, node_id, view))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def committed_blocks(self) -> int:
+        return len(self.first_commits)
+
+    @property
+    def max_view(self) -> int:
+        if not self.view_changes:
+            return 0
+        return max(view for _, _, view in self.view_changes)
+
+    def records(self) -> List[CommitRecord]:
+        return [self.first_commits[h] for h in sorted(self.first_commits)]
+
+    def _window(
+        self, start: Optional[float], end: Optional[float]
+    ) -> Tuple[float, float]:
+        lo = 0.0 if start is None else start
+        hi = self.sim.now if end is None else end
+        return lo, hi
+
+    def throughput_txs(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+        """Committed transactions per second over [start, end]."""
+        lo, hi = self._window(start, end)
+        if hi <= lo:
+            return 0.0
+        txs = sum(n for t, n in self.commit_events if lo <= t <= hi)
+        return txs / (hi - lo)
+
+    def throughput_blocks(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+        lo, hi = self._window(start, end)
+        if hi <= lo:
+            return 0.0
+        blocks = sum(1 for t, _ in self.commit_events if lo <= t <= hi)
+        return blocks / (hi - lo)
+
+    def latencies(self, start: Optional[float] = None, end: Optional[float] = None) -> List[float]:
+        lo, hi = self._window(start, end)
+        return sorted(
+            rec.latency for rec in self.first_commits.values() if lo <= rec.time <= hi
+        )
+
+    def latency_stats(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> Dict[str, float]:
+        """mean / p50 / p95 / max latency over a window (empty -> zeros)."""
+        values = self.latencies(start, end)
+        if not values:
+            return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0, "count": 0}
+        return {
+            "mean": sum(values) / len(values),
+            "p50": percentile(values, 50),
+            "p95": percentile(values, 95),
+            "max": values[-1],
+            "count": len(values),
+        }
+
+    def timeseries_txs(
+        self, bucket: float = 1.0, end: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """(bucket_start, txs/s) series for recovery plots (Figure 12)."""
+        if bucket <= 0:
+            raise ValueError(f"non-positive bucket: {bucket}")
+        horizon = self.sim.now if end is None else end
+        buckets = int(math.ceil(horizon / bucket)) if horizon > 0 else 0
+        series = [0.0] * buckets
+        for time, txs in self.commit_events:
+            index = min(int(time / bucket), buckets - 1) if buckets else 0
+            if buckets:
+                series[index] += txs
+        return [(i * bucket, total / bucket) for i, total in enumerate(series)]
+
+    def commit_gap_after(self, time: float) -> Optional[float]:
+        """Time from ``time`` to the next commit -- recovery time (§7.10)."""
+        later = [t for t, _ in self.commit_events if t >= time]
+        if not later:
+            return None
+        return min(later) - time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Metrics(blocks={self.committed_blocks}, "
+            f"view_changes={len(self.view_changes)})"
+        )

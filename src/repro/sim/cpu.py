@@ -1,0 +1,84 @@
+"""Single-core CPU resource with FIFO queueing.
+
+Each replica owns one :class:`Cpu`. Cryptographic work (signing, verifying,
+aggregating) is charged to the CPU via :meth:`Cpu.consume`, so concurrent
+pipelined consensus instances on the same node contend for compute exactly
+as they would on one core of the paper's testbed machines. Utilization is
+tracked so experiments can flag CPU-saturated data points (the paper marks
+these with red circles).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal, Sleep, WaitSignal
+
+
+class Cpu:
+    """FIFO busy-server: one unit of work at a time, queued arrivals.
+
+    Coroutine usage::
+
+        yield from node.cpu.consume(cost_model.bls_verify)
+    """
+
+    def __init__(self, sim: Simulator, name: str = "cpu"):
+        self.sim = sim
+        self.name = name
+        self._busy = False
+        self._queue: Deque[Signal] = deque()
+        self.busy_time = 0.0
+        self.jobs_completed = 0
+        self._created_at = sim.now
+
+    def consume(self, seconds: float) -> Generator:
+        """Occupy the CPU for ``seconds`` of simulated compute time.
+
+        Zero-cost work returns immediately without queueing, so disabled
+        cost models add no events.
+        """
+        if seconds < 0:
+            raise SimulationError(f"negative CPU time: {seconds}")
+        if seconds == 0.0:
+            return
+        # Acquire: loop because wakeups are broadcast and a same-instant
+        # arrival may win the race; losers simply re-queue. The broadcast
+        # (rather than hand-off) makes the queue robust to waiters that
+        # were cancelled while waiting.
+        while self._busy:
+            turn = Signal()
+            self._queue.append(turn)
+            yield WaitSignal(turn)
+        self._busy = True
+        try:
+            yield Sleep(seconds)
+            self.busy_time += seconds
+            self.jobs_completed += 1
+        finally:
+            self._busy = False
+            waiters, self._queue = self._queue, deque()
+            for turn in waiters:
+                turn.fire_if_unfired()
+
+    @property
+    def queue_length(self) -> int:
+        """Number of jobs waiting (excludes the one running)."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of wall (simulated) time spent computing since ``since``."""
+        elapsed = self.sim.now - max(since, self._created_at)
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cpu({self.name!r}, busy={self._busy}, queued={len(self._queue)})"

@@ -1,0 +1,168 @@
+"""Event-heap simulator core.
+
+The :class:`Simulator` owns a virtual clock and a heap of scheduled
+callbacks. Everything else in the library (network links, CPUs, protocol
+state machines) is built on top of :meth:`Simulator.schedule`.
+
+The simulator is single-threaded and deterministic: events scheduled for the
+same instant fire in scheduling order (FIFO), enforced by a sequence counter.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class EventHandle:
+    """Handle for a scheduled callback; supports O(1) cancellation.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped when
+    popped. ``cancelled`` and ``fired`` are exposed for introspection.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., None]] = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; idempotent, no-op if fired."""
+        self.cancelled = True
+        self.fn = None  # break reference cycles early
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned :class:`random.Random`. All stochastic
+        behaviour in the library draws from :attr:`rng`, so a seed fully
+        determines a run.
+    strict:
+        When ``True`` (default) an exception escaping a task or callback
+        aborts :meth:`run` immediately. When ``False`` failures are recorded
+        in :attr:`failures` and the run continues (useful for fault-injection
+        experiments that expect tasks to die).
+    """
+
+    def __init__(self, seed: int = 0, strict: bool = True):
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self.strict = strict
+        self.failures: List[BaseException] = []
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        self._seq += 1
+        handle = EventHandle(time, self._seq, fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event. Returns ``False`` if the heap is empty."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if handle.time < self.now:
+                raise SimulationError("event heap went backwards in time")
+            self.now = handle.time
+            handle.fired = True
+            fn, args = handle.fn, handle.args
+            handle.fn, handle.args = None, ()
+            self._events_processed += 1
+            try:
+                fn(*args)  # type: ignore[misc]
+            except Exception as exc:
+                if self.strict:
+                    raise
+                self.failures.append(exc)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the heap drains, ``until`` is reached, or stopped.
+
+        ``until`` advances the clock to exactly ``until`` even if no event
+        fires there, matching the common "simulate T seconds" usage.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._heap and not self._stopped:
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    break
+                self.step()
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event completes."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of non-cancelled events still scheduled."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now:.6f}, pending={self.pending_events})"

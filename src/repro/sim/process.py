@@ -1,0 +1,274 @@
+"""Generator-based simulated processes ("tasks").
+
+A task is a Python generator that suspends by yielding *wait requests*:
+
+- ``yield Sleep(duration)`` -- resume after ``duration`` simulated seconds.
+- ``yield WaitSignal(signal)`` -- resume when the signal fires; evaluates to
+  the value the signal was fired with.
+- ``yield WaitSignal(signal, timeout=d)`` -- same, but evaluates to the
+  sentinel :data:`TIMEOUT` if the signal has not fired within ``d`` seconds.
+- ``yield other_task`` -- join: resume when the task finishes; evaluates to
+  its return value (re-raising its exception, if any).
+
+Sub-coroutines compose with plain ``yield from``; their ``return`` value is
+the expression value, exactly like real coroutines. This lets the paper's
+blocking pseudocode (Algorithms 1-3) transcribe almost verbatim.
+
+Cancellation throws :class:`~repro.errors.TaskCancelled` inside the
+generator at its current suspension point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Union
+
+from repro.errors import SimulationError, TaskCancelled
+from repro.sim.engine import EventHandle, Simulator
+
+
+class _Timeout:
+    """Singleton sentinel returned by timed-out waits."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "TIMEOUT"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+TIMEOUT = _Timeout()
+
+
+class Sleep:
+    """Wait request: suspend for a fixed simulated duration."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise SimulationError(f"negative sleep: {duration}")
+        self.duration = duration
+
+
+class Signal:
+    """One-shot broadcast event carrying an optional value.
+
+    ``fire`` wakes every current waiter (in wait order) and makes all future
+    waits complete immediately. Firing twice raises, preserving single-use
+    semantics; use :meth:`fire_if_unfired` for races that are benign.
+    """
+
+    __slots__ = ("fired", "value", "_waiters")
+
+    def __init__(self) -> None:
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired:
+            raise SimulationError("signal fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+
+    def fire_if_unfired(self, value: Any = None) -> bool:
+        """Fire unless already fired; returns whether this call fired it."""
+        if self.fired:
+            return False
+        self.fire(value)
+        return True
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        """Register a callback; returns an unsubscribe function."""
+        if self.fired:
+            raise SimulationError("cannot wait on an already-fired signal")
+        self._waiters.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._waiters.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+
+class WaitSignal:
+    """Wait request: suspend until ``signal`` fires or ``timeout`` elapses."""
+
+    __slots__ = ("signal", "timeout")
+
+    def __init__(self, signal: Signal, timeout: Optional[float] = None):
+        if timeout is not None and timeout < 0:
+            raise SimulationError(f"negative timeout: {timeout}")
+        self.signal = signal
+        self.timeout = timeout
+
+
+WaitRequest = Union[Sleep, WaitSignal, "Task"]
+
+
+class Task:
+    """Driver wrapping a generator into a simulated process.
+
+    Created via :func:`spawn` (or ``Task(sim, gen)`` directly). The task
+    starts on the next simulator event at the current time, never
+    synchronously inside the spawner -- this keeps traces deterministic and
+    independent of Python evaluation order.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "done",
+        "result",
+        "exception",
+        "cancelled",
+        "_gen",
+        "_done_signal",
+        "_pending_timer",
+        "_pending_unsub",
+        "_wait_token",
+    )
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "task"):
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"Task requires a generator, got {type(gen)!r}")
+        self.sim = sim
+        self.name = name
+        self.done = False
+        self.cancelled = False
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._gen = gen
+        self._done_signal = Signal()
+        self._pending_timer: Optional[EventHandle] = None
+        self._pending_unsub: Optional[Callable[[], None]] = None
+        self._wait_token = 0
+        sim.schedule(0.0, self._step, self._wait_token, "send", None)
+
+    # ------------------------------------------------------------------
+    def _clear_wait(self) -> None:
+        if self._pending_timer is not None:
+            self._pending_timer.cancel()
+            self._pending_timer = None
+        if self._pending_unsub is not None:
+            self._pending_unsub()
+            self._pending_unsub = None
+
+    def _step(self, token: int, mode: str, payload: Any) -> None:
+        """Resume the generator with a value ("send") or exception ("throw")."""
+        if self.done or token != self._wait_token:
+            return  # stale wakeup (race between signal and timeout)
+        self._wait_token += 1
+        self._clear_wait()
+        try:
+            if mode == "send":
+                request = self._gen.send(payload)
+            else:
+                request = self._gen.throw(payload)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except TaskCancelled:
+            self.cancelled = True
+            self._finish(result=None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - recorded and re-raised at join
+            self._finish(exception=exc)
+            if self.sim.strict:
+                raise
+            self.sim.failures.append(exc)
+            return
+        self._install_wait(request)
+
+    def _install_wait(self, request: WaitRequest) -> None:
+        token = self._wait_token
+        if isinstance(request, Sleep):
+            self._pending_timer = self.sim.schedule(
+                request.duration, self._step, token, "send", None
+            )
+        elif isinstance(request, WaitSignal):
+            self._install_signal_wait(request.signal, request.timeout, token)
+        elif isinstance(request, Task):
+            self._install_join(request, token)
+        else:
+            err = SimulationError(f"task {self.name!r} yielded {request!r}")
+            self.sim.schedule(0.0, self._step, token, "throw", err)
+
+    def _install_signal_wait(
+        self, signal: Signal, timeout: Optional[float], token: int
+    ) -> None:
+        if signal.fired:
+            self.sim.schedule(0.0, self._step, token, "send", signal.value)
+            return
+        self._pending_unsub = signal.add_waiter(
+            lambda value: self.sim.schedule(0.0, self._step, token, "send", value)
+        )
+        if timeout is not None:
+            self._pending_timer = self.sim.schedule(
+                timeout, self._step, token, "send", TIMEOUT
+            )
+
+    def _install_join(self, other: "Task", token: int) -> None:
+        def wake(_value: Any) -> None:
+            if other.exception is not None:
+                self.sim.schedule(0.0, self._step, token, "throw", other.exception)
+            else:
+                self.sim.schedule(0.0, self._step, token, "send", other.result)
+
+        if other.done:
+            wake(None)
+        else:
+            self._pending_unsub = other._done_signal.add_waiter(wake)
+
+    def _finish(
+        self, result: Any = None, exception: Optional[BaseException] = None
+    ) -> None:
+        self.done = True
+        self.result = result
+        self.exception = exception
+        self._gen.close()
+        self._done_signal.fire(result)
+
+    # ------------------------------------------------------------------
+    def cancel(self) -> None:
+        """Cancel the task, throwing :class:`TaskCancelled` at its wait point.
+
+        Idempotent; cancelling a finished task is a no-op. The cancellation
+        is delivered as an immediate event, not synchronously.
+        """
+        if self.done:
+            return
+        self._clear_wait()
+        self._wait_token += 1  # invalidate any in-flight wakeups
+        self.sim.schedule(
+            0.0, self._step, self._wait_token, "throw", TaskCancelled(self.name)
+        )
+
+    @property
+    def done_signal(self) -> Signal:
+        """Signal fired (with the task's result) when the task finishes."""
+        return self._done_signal
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"Task({self.name!r}, {state})"
+
+
+def spawn(sim: Simulator, gen: Generator, name: str = "task") -> Task:
+    """Create and start a task from a generator."""
+    return Task(sim, gen, name=name)
+
+
+def wait_all(tasks: List[Task]) -> Generator:
+    """Coroutine helper: join every task in ``tasks``; returns their results."""
+    results = []
+    for task in tasks:
+        results.append((yield task))
+    return results

@@ -1,0 +1,87 @@
+"""Disjoint-bin partitioning for reconfiguration (paper §5.2, Algorithm 4).
+
+Processes are split into ``m`` disjoint bins, each large enough to fill
+every internal position of the tree. Tree ``j`` draws its internal nodes
+exclusively from bin ``j mod m`` (round robin). Because the bins are
+disjoint and there are at most ``f < m`` faults, at least one bin contains
+only correct processes, so a robust tree appears at least once every ``m``
+consecutive configurations -- Theorem 3's (m)-Bounded Conformity.
+
+A balanced tree of fanout ``m`` has roughly ``n/m`` internal nodes, so at
+most ``m`` bins fit: the algorithm achieves at most (m-1)... in practice
+``floor(n / i)``-Bounded Conformity, where ``i`` is the internal count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+
+
+class BinPartition:
+    """Disjoint bins of processes, each able to staff a tree's internals."""
+
+    def __init__(
+        self,
+        processes: Sequence[int],
+        internal_count: int,
+        num_bins: Optional[int] = None,
+    ):
+        processes = list(processes)
+        if len(set(processes)) != len(processes):
+            raise TopologyError("duplicate processes in bin partition")
+        if internal_count < 1:
+            raise TopologyError(f"internal_count must be >= 1, got {internal_count}")
+        max_bins = len(processes) // internal_count
+        if max_bins < 1:
+            raise TopologyError(
+                f"{len(processes)} processes cannot fill even one bin of "
+                f"{internal_count} internal nodes"
+            )
+        m = max_bins if num_bins is None else num_bins
+        if not 1 <= m <= max_bins:
+            raise TopologyError(
+                f"num_bins={m} out of range 1..{max_bins} "
+                f"(n={len(processes)}, internals={internal_count})"
+            )
+        self.processes = tuple(processes)
+        self.internal_count = internal_count
+        self._bins: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(processes[k * internal_count : (k + 1) * internal_count])
+            for k in range(m)
+        )
+        # Processes beyond m * internal_count belong to no bin; they are
+        # always leaves. (Algorithm 4 only constrains internal positions.)
+
+    @property
+    def num_bins(self) -> int:
+        return len(self._bins)
+
+    def bin(self, index: int) -> Tuple[int, ...]:
+        """The bin used for configuration ``index`` (round robin)."""
+        return self._bins[index % len(self._bins)]
+
+    @property
+    def bins(self) -> Tuple[Tuple[int, ...], ...]:
+        return self._bins
+
+    def are_disjoint(self) -> bool:
+        """Invariant check: bi ∩ bj = ∅ for i ≠ j."""
+        seen: set = set()
+        for members in self._bins:
+            if seen & set(members):
+                return False
+            seen |= set(members)
+        return True
+
+    def has_clean_bin(self, faulty: Sequence[int]) -> bool:
+        """Theorem 3's pigeonhole: with f < m faults, some bin is all-correct."""
+        faulty_set = set(faulty)
+        return any(not (set(members) & faulty_set) for members in self._bins)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BinPartition(m={self.num_bins}, bin_size={self.internal_count}, "
+            f"n={len(self.processes)})"
+        )

@@ -1,0 +1,129 @@
+"""Balanced-tree construction matching the paper's experimental shapes.
+
+§7.1: system sizes rarely give perfect m-ary trees, so processes are
+assigned to tree positions "such that it approximates a balanced tree".
+Interior levels use the root fanout; the final (leaf) level distributes the
+remaining processes as evenly as possible over the last interior level.
+This reproduces the published shapes exactly:
+
+- N=100, h=2: root fanout 10, internal fanouts 8-9
+- N=200, h=2: root fanout 14, internal fanouts 13-14
+- N=400, h=2: root fanout 20, internal fanouts 18-19
+- N=100, h=3: fanout 5 (§7.8)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import default_root_fanout
+from repro.errors import TopologyError
+from repro.topology.tree import Tree
+
+
+def tree_level_sizes(n: int, height: int, root_fanout: Optional[int] = None) -> List[int]:
+    """Number of nodes at each depth for a balanced tree of ``height``.
+
+    Interior levels are full (``root_fanout ** depth``); the last level
+    holds the remainder. Raises if ``n`` is too small to populate every
+    interior level (the tree would not reach ``height``).
+    """
+    if height < 1:
+        raise TopologyError(f"height must be >= 1, got {height}")
+    if n < 2:
+        raise TopologyError(f"a tree needs at least 2 processes, got {n}")
+    fanout = root_fanout if root_fanout is not None else default_root_fanout(n, height)
+    if fanout < 1:
+        raise TopologyError(f"fanout must be >= 1, got {fanout}")
+    if height == 1:
+        return [1, n - 1]
+    sizes = [1]
+    for _ in range(height - 1):
+        sizes.append(sizes[-1] * fanout)
+    interior = sum(sizes)
+    leaves = n - interior
+    if leaves < 1:
+        raise TopologyError(
+            f"n={n} cannot fill a height-{height} tree with fanout {fanout} "
+            f"(needs more than {interior} processes)"
+        )
+    sizes.append(leaves)
+    return sizes
+
+
+def build_tree(
+    processes: Sequence[int],
+    height: int,
+    root_fanout: Optional[int] = None,
+    internals_first: Optional[Sequence[int]] = None,
+) -> Tree:
+    """Build a balanced tree over ``processes``.
+
+    ``internals_first`` optionally names the processes (in order: root,
+    then interior levels breadth-first) to place in internal positions --
+    this is how the reconfiguration policy draws internal nodes from a bin
+    (Algorithm 4). Remaining processes become leaves, in their given order.
+    """
+    processes = list(processes)
+    n = len(processes)
+    sizes = tree_level_sizes(n, height, root_fanout)
+    internal_count = sum(sizes[:-1])
+
+    if internals_first is not None:
+        internals = list(internals_first)[:internal_count]
+        if len(internals) < internal_count:
+            raise TopologyError(
+                f"need {internal_count} internal nodes, got {len(internals)}"
+            )
+        if len(set(internals)) != len(internals):
+            raise TopologyError("duplicate internal nodes")
+        missing = set(internals) - set(processes)
+        if missing:
+            raise TopologyError(f"internal nodes not in process set: {sorted(missing)}")
+        internal_set = set(internals)
+        ordering = internals + [p for p in processes if p not in internal_set]
+    else:
+        ordering = processes
+
+    # Slice the ordering into levels.
+    levels: List[List[int]] = []
+    cursor = 0
+    for size in sizes:
+        levels.append(ordering[cursor : cursor + size])
+        cursor += size
+
+    children: Dict[int, List[int]] = {}
+    # Interior levels: parent at level k, children at level k+1, split evenly.
+    for depth in range(len(levels) - 1):
+        parents = levels[depth]
+        kids = levels[depth + 1]
+        children.update(_distribute(parents, kids))
+    return Tree(levels[0][0], children)
+
+
+def build_star(processes: Sequence[int], leader: Optional[int] = None) -> Tree:
+    """HotStuff's topology: the leader connected directly to everyone."""
+    processes = list(processes)
+    if len(processes) < 2:
+        raise TopologyError("a star needs at least 2 processes")
+    head = processes[0] if leader is None else leader
+    if head not in processes:
+        raise TopologyError(f"leader {head} not in process set")
+    return Tree(head, {head: [p for p in processes if p != head]})
+
+
+def _distribute(parents: Sequence[int], kids: Sequence[int]) -> Dict[int, List[int]]:
+    """Assign ``kids`` to ``parents`` as evenly as possible, in order.
+
+    The first ``len(kids) % len(parents)`` parents get one extra child, so
+    fanouts differ by at most one -- the 8-9 / 13-14 / 18-19 shapes of §7.1.
+    """
+    per_parent, extra = divmod(len(kids), len(parents))
+    out: Dict[int, List[int]] = {}
+    cursor = 0
+    for index, parent in enumerate(parents):
+        take = per_parent + (1 if index < extra else 0)
+        if take:
+            out[parent] = list(kids[cursor : cursor + take])
+        cursor += take
+    return out

@@ -1,0 +1,66 @@
+"""Evolving graphs and conformity properties (paper §5.1, Definitions 5-6).
+
+A reconfiguration strategy induces an *evolving graph*: the sequence of
+trees used in successive views. :func:`t_bounded_conformity` checks
+Definition 6 over a finite window -- a robust configuration appears at
+least once in every ``t`` consecutive graphs -- which is what Theorem 3
+guarantees for Algorithm 4's bin strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.topology.robustness import is_robust
+from repro.topology.tree import Tree
+
+
+class EvolvingGraph:
+    """A lazily evaluated sequence of configurations (trees)."""
+
+    def __init__(self, generator: Callable[[int], Tree]):
+        self._generator = generator
+        self._cache: dict = {}
+
+    def at(self, index: int) -> Tree:
+        """The configuration used at step ``index`` (deterministic)."""
+        tree = self._cache.get(index)
+        if tree is None:
+            tree = self._generator(index)
+            self._cache[index] = tree
+        return tree
+
+    def window(self, start: int, length: int) -> List[Tree]:
+        return [self.at(index) for index in range(start, start + length)]
+
+
+def t_bounded_conformity(
+    graph: EvolvingGraph,
+    t: int,
+    faulty: Iterable[int],
+    horizon: int,
+) -> bool:
+    """Definition 6 over ``horizon`` steps: every ``t`` consecutive
+    configurations include at least one robust one."""
+    faulty_set = set(faulty)
+    flags = [is_robust(graph.at(index), faulty_set) for index in range(horizon)]
+    if t > horizon:
+        return any(flags)
+    return all(any(flags[start : start + t]) for start in range(horizon - t + 1))
+
+
+def first_robust_index(
+    graph: EvolvingGraph,
+    faulty: Iterable[int],
+    horizon: int,
+) -> Optional[int]:
+    """Index of the first robust configuration, or ``None`` within horizon.
+
+    For Algorithm 4 with f < m this is at most m (i.e. found within m+1
+    steps counting the initial configuration), which §1 calls optimal.
+    """
+    faulty_set = set(faulty)
+    for index in range(horizon):
+        if is_robust(graph.at(index), faulty_set):
+            return index
+    return None

@@ -1,0 +1,90 @@
+"""Robustness predicates for stars and trees (paper §3.2, Definitions 3-4).
+
+- :func:`is_robust_star` -- Definition 3: the leader is correct.
+- :func:`is_robust` -- Definition 4, verbatim: the root is correct and every
+  pair of correct processes is connected by safe edges only.
+- :func:`all_internals_correct` -- the paper's corollary, the *sufficient*
+  condition the reconfiguration algorithm targets: every internal node
+  (including the root) is correct. Implies :func:`is_robust` (property
+  tested).
+- :func:`can_reach_quorum` -- the weaker *necessary-and-sufficient* liveness
+  condition noted in §3.2: a safe-edge path from the leader to a quorum of
+  correct processes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.topology.tree import Tree
+
+
+def is_robust_star(tree: Tree, faulty: Iterable[int]) -> bool:
+    """Definition 3: a star is robust iff the leader is correct."""
+    return tree.root not in set(faulty)
+
+
+def safe_edges_only(tree: Tree, path: Iterable[int], faulty: Set[int]) -> bool:
+    """True iff every edge along ``path`` joins two correct processes."""
+    nodes = list(path)
+    return all(
+        a not in faulty and b not in faulty for a, b in zip(nodes, nodes[1:])
+    )
+
+
+def is_robust(tree: Tree, faulty: Iterable[int]) -> bool:
+    """Definition 4, checked directly.
+
+    The leader must be correct and, for every pair of correct processes,
+    the tree path between them must consist of safe edges only. Rather than
+    enumerating O(n^2) pairs, we use the equivalent single-pass condition:
+    every correct non-root process must reach the root through correct
+    ancestors (then any two correct processes meet at the correct root via
+    safe edges).
+    """
+    faulty_set = set(faulty)
+    if tree.root in faulty_set:
+        return False
+    correct = [node for node in tree.nodes if node not in faulty_set]
+    if len(correct) <= 1:
+        return True
+    # Pairs meet at their lowest common ancestor; both legs climb ancestor
+    # chains, so "every correct node has an all-correct ancestor chain" is
+    # equivalent to the pairwise definition *except* when a faulty node has
+    # no correct descendants (its edges appear on no correct pair's path).
+    for node in correct:
+        for ancestor in tree.path_to_root(node)[1:]:
+            if ancestor in faulty_set:
+                return False
+    return True
+
+
+def all_internals_correct(tree: Tree, faulty: Iterable[int]) -> bool:
+    """The §3.2 corollary: no internal node (including the root) is faulty.
+
+    Sufficient for robustness; what Algorithm 4's bins guarantee.
+    """
+    faulty_set = set(faulty)
+    return not any(node in faulty_set for node in tree.internal_nodes)
+
+
+def reachable_correct(tree: Tree, faulty: Iterable[int]) -> Set[int]:
+    """Correct processes connected to the root through correct nodes only."""
+    faulty_set = set(faulty)
+    if tree.root in faulty_set:
+        return set()
+    reached = set()
+    frontier = [tree.root]
+    while frontier:
+        node = frontier.pop()
+        reached.add(node)
+        for child in tree.children(node):
+            if child not in faulty_set:
+                frontier.append(child)
+    return reached
+
+
+def can_reach_quorum(tree: Tree, faulty: Iterable[int], quorum: int) -> bool:
+    """§3.2: consensus is reachable iff the leader has safe-edge paths to a
+    quorum of correct processes (itself included)."""
+    return len(reachable_correct(tree, faulty)) >= quorum

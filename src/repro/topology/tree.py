@@ -1,0 +1,154 @@
+"""Rooted dissemination/aggregation trees (paper §3.2).
+
+A :class:`Tree` maps each process to its ordered children. The root is the
+consensus leader; internal nodes aggregate votes; leaves only vote. A star
+is the degenerate height-1 tree, which is exactly HotStuff's topology --
+the protocol code is identical for both (§3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+
+
+class Tree:
+    """Immutable rooted tree over integer process ids."""
+
+    def __init__(self, root: int, children: Dict[int, Sequence[int]]):
+        self.root = root
+        self._children: Dict[int, Tuple[int, ...]] = {
+            node: tuple(kids) for node, kids in children.items() if kids
+        }
+        self._parent: Dict[int, int] = {}
+        self._depth: Dict[int, int] = {}
+        self._validate_and_index()
+
+    def _validate_and_index(self) -> None:
+        self._depth[self.root] = 0
+        frontier: List[int] = [self.root]
+        visited = {self.root}
+        while frontier:
+            node = frontier.pop()
+            for child in self._children.get(node, ()):
+                if child in visited:
+                    raise TopologyError(
+                        f"node {child} has two parents or forms a cycle"
+                    )
+                visited.add(child)
+                self._parent[child] = node
+                self._depth[child] = self._depth[node] + 1
+                frontier.append(child)
+        claimed = set(self._children) | {
+            kid for kids in self._children.values() for kid in kids
+        } | {self.root}
+        unreachable = claimed - visited
+        if unreachable:
+            raise TopologyError(f"nodes not reachable from root: {sorted(unreachable)}")
+        self._nodes: Tuple[int, ...] = tuple(sorted(visited))
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return self._nodes
+
+    @property
+    def n(self) -> int:
+        return len(self._nodes)
+
+    def parent(self, node: int) -> Optional[int]:
+        """The node's parent, or ``None`` for the root."""
+        self._check(node)
+        return self._parent.get(node)
+
+    def children(self, node: int) -> Tuple[int, ...]:
+        self._check(node)
+        return self._children.get(node, ())
+
+    def fanout(self, node: int) -> int:
+        return len(self.children(node))
+
+    def depth(self, node: int) -> int:
+        self._check(node)
+        return self._depth[node]
+
+    @property
+    def height(self) -> int:
+        """Maximum depth of any node (a star has height 1)."""
+        return max(self._depth.values()) if self.n > 1 else 0
+
+    @property
+    def internal_nodes(self) -> Tuple[int, ...]:
+        """Nodes with at least one child, including the root."""
+        return tuple(sorted(self._children))
+
+    @property
+    def leaves(self) -> Tuple[int, ...]:
+        return tuple(node for node in self._nodes if node not in self._children)
+
+    @property
+    def is_star(self) -> bool:
+        return self.height <= 1
+
+    # ------------------------------------------------------------------
+    def subtree(self, node: int) -> Tuple[int, ...]:
+        """All nodes in the subtree rooted at ``node`` (inclusive)."""
+        self._check(node)
+        out: List[int] = []
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            out.append(current)
+            frontier.extend(self._children.get(current, ()))
+        return tuple(out)
+
+    def path_to_root(self, node: int) -> Tuple[int, ...]:
+        """Nodes from ``node`` up to and including the root."""
+        self._check(node)
+        path = [node]
+        while path[-1] != self.root:
+            path.append(self._parent[path[-1]])
+        return tuple(path)
+
+    def path_between(self, a: int, b: int) -> Tuple[int, ...]:
+        """The unique tree path from ``a`` to ``b`` (inclusive)."""
+        up_a = self.path_to_root(a)
+        up_b = self.path_to_root(b)
+        in_b = set(up_b)
+        pivot = next(node for node in up_a if node in in_b)
+        down = list(up_b[: up_b.index(pivot)])
+        return tuple(list(up_a[: up_a.index(pivot) + 1]) + list(reversed(down)))
+
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """All (parent, child) edges."""
+        return tuple(
+            (node, child)
+            for node in self._children
+            for child in self._children[node]
+        )
+
+    def _check(self, node: int) -> None:
+        if node not in self._depth:
+            raise TopologyError(f"node {node} is not in the tree")
+
+    # ------------------------------------------------------------------
+    def __contains__(self, node: int) -> bool:
+        return node in self._depth
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Tree)
+            and self.root == other.root
+            and self._children == other._children
+            and self._nodes == other._nodes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.root, tuple(sorted(self._children.items())), self._nodes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tree(root={self.root}, n={self.n}, height={self.height}, "
+            f"internals={len(self.internal_nodes)})"
+        )

@@ -1,0 +1,114 @@
+"""Tests for the analysis layer: tables, formatting, figure generators.
+
+Figure generators run at miniature scale here; the full-scale paper
+reproduction lives in benchmarks/.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    adaptive_duration,
+    fig5_stretch_sweep,
+    fig8_latency_bandwidth,
+    fig11_heterogeneous,
+    fig12_reconfiguration,
+    format_table,
+    table1_rows,
+    table2_rows,
+)
+from repro.analysis.tables import TABLE1_HEADERS, TABLE2_HEADERS
+from repro.config import GLOBAL, KB, NATIONAL
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(("A", "Blong"), [(1, 2.5), ("xx", 10000.0)], title="T")
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert "10,000" in text
+        assert "2.500" in text
+
+    def test_no_title(self):
+        text = format_table(("A",), [(1,)])
+        assert text.startswith("A")
+
+
+class TestTables:
+    def test_table1_structure(self):
+        rows = table1_rows()
+        assert len(rows) == 6
+        assert all(len(row) == len(TABLE1_HEADERS) for row in rows)
+        systems = [row[0] for row in rows]
+        assert "Kauri" in systems and "HotStuff" in systems and "PBFT" in systems
+
+    def test_table2_structure(self):
+        rows = table2_rows()
+        assert all(len(row) == len(TABLE2_HEADERS) for row in rows)
+        # both systems for every configured scenario
+        assert sum(1 for r in rows if r[1] == "kauri") == len(rows) // 2
+
+    def test_table2_custom_grid(self):
+        rows = table2_rows(configs=[("national", NATIONAL, 100)])
+        assert len(rows) == 2
+
+
+class TestAdaptiveDuration:
+    def test_slow_configs_get_longer_windows(self):
+        fast = adaptive_duration("kauri", 100, NATIONAL, 250 * KB)
+        slow = adaptive_duration("hotstuff-secp", 400, GLOBAL, 250 * KB)
+        assert slow > fast
+        assert adaptive_duration("kauri", 100, NATIONAL, 250 * KB, scale=0.5) == (
+            pytest.approx(fast * 0.5)
+        )
+
+
+class TestFigureGeneratorsSmoke:
+    """Miniature runs: structure and basic sanity only."""
+
+    def test_fig5_shape(self):
+        data = fig5_stretch_sweep(
+            block_sizes_kb=(250,), stretches=(1.0, 2.0), n=31, scale=0.05
+        )
+        assert set(data) == {250}
+        assert [s for s, _ in data[250]] == [1.0, 2.0]
+        assert all(tput >= 0 for _, tput in data[250])
+
+    def test_fig8_includes_analytic_floor(self):
+        data = fig8_latency_bandwidth(
+            bandwidths_mbps=(1000,), modes=("kauri",), n=31, scale=0.05
+        )
+        assert "kauri" in data and "kauri-infinite" in data
+        (bw, floor_ms) = data["kauri-infinite"][0]
+        assert math.isinf(bw)
+        assert floor_ms > 0
+
+    def test_fig11_small(self):
+        results = fig11_heterogeneous(
+            modes=("kauri", "hotstuff-bls"), per_cluster=2, scale=0.2
+        )
+        assert {r.mode for r in results} == {"kauri", "hotstuff-bls"}
+        assert all(r.n == 12 for r in results)
+
+    def test_fig12_case_validation(self):
+        with pytest.raises(ValueError):
+            fig12_reconfiguration("meteor-strike", n=13, scenario="national")
+
+    def test_fig12_leader_case_small(self):
+        run = fig12_reconfiguration(
+            "leader", n=13, scenario="national", fault_time=10.0, duration=30.0
+        )
+        assert run.max_view == 1
+        assert len(run.faulty) == 1
+        assert run.recovery_gap is not None
+        assert not run.final_is_star
+
+    def test_fig12_f_leaders_small(self):
+        run = fig12_reconfiguration(
+            "f-leaders", n=13, scenario="national", fault_time=10.0, duration=200.0
+        )
+        assert len(run.faulty) == 4  # f for n=13
+        assert run.max_view > 1
+        assert run.recovery_gap is not None

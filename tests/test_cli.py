@@ -1,0 +1,153 @@
+"""CLI tests: every command runs and produces the expected surface."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(args):
+    """Run the CLI in-process, capturing stdout."""
+    import contextlib
+    import io
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(args)
+    return code, buffer.getvalue()
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_basic():
+    code, out = run_cli(
+        ["run", "--mode", "kauri", "--scenario", "national", "--n", "7",
+         "--duration", "5"]
+    )
+    assert code == 0
+    assert "throughput" in out
+    assert "blocks" in out
+
+
+def test_run_json_output():
+    code, out = run_cli(
+        ["run", "--mode", "kauri", "--scenario", "national", "--n", "7",
+         "--duration", "5", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["mode"] == "kauri"
+    assert payload["committed_blocks"] > 0
+
+
+def test_run_with_crash():
+    code, out = run_cli(
+        ["run", "--mode", "kauri", "--scenario", "national", "--n", "7",
+         "--duration", "20", "--crash-leader-at", "5", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["max_view"] >= 1
+
+
+def test_run_with_lanes_and_stretch():
+    code, out = run_cli(
+        ["run", "--mode", "kauri", "--scenario", "national", "--n", "7",
+         "--duration", "5", "--lanes", "4", "--stretch", "2.0", "--json"]
+    )
+    assert code == 0
+    assert json.loads(out)["stretch"] == 2.0
+
+
+def test_model_command():
+    code, out = run_cli(["model", "--n", "400", "--scenario", "global"])
+    assert code == 0
+    assert "kauri h=2" in out
+    assert "Max speedup" in out
+
+
+def test_tune_command():
+    code, out = run_cli(["tune", "--n", "100", "--scenario", "global"])
+    assert code == 0
+    assert "recommended" in out
+
+
+def test_tune_heterogeneous():
+    code, out = run_cli(["tune", "--scenario", "heterogeneous"])
+    assert code == 0
+    assert "leader cluster : 0" in out
+
+
+def test_table_commands():
+    code, out = run_cli(["table", "1"])
+    assert code == 0
+    assert "Kauri" in out
+    code, out = run_cli(["table", "2"])
+    assert code == 0
+    assert "Stretch" in out
+
+
+def test_sweep_table_output():
+    code, out = run_cli(
+        ["sweep", "--modes", "kauri", "--sizes", "7", "--scenario", "national",
+         "--duration", "5", "--max-commits", "20"]
+    )
+    assert code == 0
+    assert "Sweep" in out
+    assert "kauri" in out
+
+
+def test_sweep_json_output():
+    code, out = run_cli(
+        ["sweep", "--modes", "kauri,pbft", "--sizes", "7",
+         "--scenario", "national", "--duration", "5", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert {entry["mode"] for entry in payload} == {"kauri", "pbft"}
+
+
+def test_run_pbft_mode():
+    code, out = run_cli(
+        ["run", "--mode", "pbft", "--scenario", "national", "--n", "7",
+         "--duration", "5", "--json"]
+    )
+    assert code == 0
+    assert json.loads(out)["committed_blocks"] > 0
+
+
+def test_fig_rejects_unknown():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig", "99"])
+
+
+@pytest.mark.slow
+def test_fig3_gantt():
+    code, out = run_cli(["fig", "3", "--scale", "0.2"])
+    assert code == 0
+    assert "peak in-flight" in out
+    assert "#" in out
+
+
+@pytest.mark.slow
+def test_fig7_tiny_scale():
+    code, out = run_cli(["fig", "7", "--scale", "0.05"])
+    assert code == 0
+    assert "RTT" in out
+
+
+def test_module_entrypoint():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "table", "1"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "Kauri" in proc.stdout

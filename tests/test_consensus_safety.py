@@ -1,0 +1,131 @@
+"""Unit tests for the replica safety rules (vote-once, locking, safeNode)."""
+
+import pytest
+
+from repro.consensus import Block, BlockStore, GENESIS_HASH, Phase, QuorumCert, SafetyRules
+from repro.consensus.vote import genesis_qc, vote_value
+from repro.crypto import Pki, make_scheme
+
+PKI = Pki(n=7)
+SCHEME = make_scheme("bls", PKI)
+QUORUM = 5
+
+
+def qc(phase, view, height, block_hash, signers=range(QUORUM)):
+    value = vote_value(phase, view, height, block_hash)
+    coll = SCHEME.empty()
+    for node in signers:
+        coll = coll | SCHEME.new(PKI.keypair(node), value)
+    return QuorumCert(phase, view, height, block_hash, coll)
+
+
+def make_chain(store, length, view=0, parent=GENESIS_HASH, start=1, salt=0):
+    blocks, current = [], parent
+    for offset in range(length):
+        block = Block.create(start + offset, view, current, 0, 100, 1, 0.0, salt=salt)
+        store.add(block)
+        blocks.append(block)
+        current = block.hash
+    return blocks
+
+
+@pytest.fixture
+def rules():
+    return SafetyRules(BlockStore())
+
+
+class TestVoteOnce:
+    def test_single_vote_per_slot(self, rules):
+        assert rules.may_vote(0, 1, Phase.PREPARE)
+        rules.record_vote(0, 1, Phase.PREPARE)
+        assert not rules.may_vote(0, 1, Phase.PREPARE)
+
+    def test_slots_independent(self, rules):
+        rules.record_vote(0, 1, Phase.PREPARE)
+        assert rules.may_vote(0, 1, Phase.PRECOMMIT)
+        assert rules.may_vote(0, 2, Phase.PREPARE)
+        assert rules.may_vote(1, 1, Phase.PREPARE)
+
+
+class TestSafeProposal:
+    def test_first_block_on_genesis(self, rules):
+        block = Block.create(1, 0, GENESIS_HASH, 0, 100, 1, 0.0)
+        assert rules.safe_proposal(block, genesis_qc())
+
+    def test_height_must_exceed_justify(self, rules):
+        block = Block.create(0, 0, GENESIS_HASH, 0, 100, 1, 0.0)
+        assert not rules.safe_proposal(block, genesis_qc())
+
+    def test_must_extend_justify_block(self, rules):
+        blocks = make_chain(rules.store, 2)
+        justify = qc(Phase.PREPARE, 0, 1, blocks[0].hash)
+        ok = Block.create(3, 0, blocks[1].hash, 0, 100, 1, 0.0)
+        rules.store.add(ok)
+        assert rules.safe_proposal(ok, justify)
+        stranger = Block.create(3, 0, "unrelated", 0, 100, 1, 0.0)
+        assert not rules.safe_proposal(stranger, justify)
+
+    def test_pipelined_justify_several_heights_back(self, rules):
+        """§4.2: the justify may lag the proposal by several heights."""
+        blocks = make_chain(rules.store, 5)
+        justify = qc(Phase.PREPARE, 0, 1, blocks[0].hash)
+        tip = Block.create(6, 0, blocks[4].hash, 0, 100, 1, 0.0)
+        rules.store.add(tip)
+        assert rules.safe_proposal(tip, justify)
+
+    def test_locked_blocks_conflicting_branch(self, rules):
+        blocks = make_chain(rules.store, 2, view=1)
+        # lock on blocks[1] in view 1
+        rules.observe_precommit_qc(qc(Phase.PRECOMMIT, 1, 2, blocks[1].hash))
+        # same-view fork not extending the lock: rejected
+        fork = Block.create(3, 1, blocks[0].hash, 0, 100, 1, 0.0, salt=9)
+        rules.store.add(fork)
+        justify_old = qc(Phase.PREPARE, 1, 1, blocks[0].hash)
+        assert not rules.safe_proposal(fork, justify_old)
+        # extension of the lock: accepted
+        extend = Block.create(3, 1, blocks[1].hash, 0, 100, 1, 0.0)
+        rules.store.add(extend)
+        justify_lock = qc(Phase.PREPARE, 1, 2, blocks[1].hash)
+        assert rules.safe_proposal(extend, justify_lock)
+
+    def test_newer_view_justify_overrides_lock(self, rules):
+        """The HotStuff liveness rule: a strictly newer justify unlocks."""
+        blocks = make_chain(rules.store, 2, view=1)
+        rules.observe_precommit_qc(qc(Phase.PRECOMMIT, 1, 2, blocks[1].hash))
+        other = Block.create(2, 3, blocks[0].hash, 1, 100, 1, 0.0, salt=4)
+        rules.store.add(other)
+        tip = Block.create(3, 3, other.hash, 1, 100, 1, 0.0)
+        rules.store.add(tip)
+        justify_newer = qc(Phase.PREPARE, 3, 2, other.hash)
+        assert rules.safe_proposal(tip, justify_newer)
+        justify_same_view = qc(Phase.PREPARE, 1, 2, other.hash)
+        assert not rules.safe_proposal(tip, justify_same_view)
+
+
+class TestQcObservation:
+    def test_high_prepare_tracks_newest(self, rules):
+        a = qc(Phase.PREPARE, 1, 1, "a")
+        b = qc(Phase.PREPARE, 2, 1, "b")
+        rules.observe_qc(b)
+        rules.observe_qc(a)  # older: ignored
+        assert rules.high_prepare_qc == b
+
+    def test_lock_tracks_newest_precommit(self, rules):
+        a = qc(Phase.PRECOMMIT, 1, 1, "a")
+        b = qc(Phase.PRECOMMIT, 3, 1, "b")
+        rules.observe_qc(a)
+        assert rules.locked_block_hash == "a"
+        rules.observe_qc(b)
+        assert rules.locked_block_hash == "b"
+        rules.observe_qc(a)
+        assert rules.locked_block_hash == "b"
+
+    def test_commit_qc_does_not_touch_lock(self, rules):
+        rules.observe_qc(qc(Phase.COMMIT, 5, 9, "c"))
+        assert rules.locked_qc.is_genesis
+        assert rules.high_prepare_qc.is_genesis
+
+    def test_prepare_does_not_lock(self, rules):
+        rules.observe_qc(qc(Phase.PREPARE, 5, 9, "p"))
+        assert rules.locked_qc.is_genesis
+        assert rules.high_prepare_qc.block_hash == "p"

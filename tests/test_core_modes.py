@@ -1,0 +1,62 @@
+"""Unit tests for the mode registry (§6-§7 system variants)."""
+
+import pytest
+
+from repro.core import MODES, mode_spec
+from repro.errors import ConfigError
+
+
+def test_paper_systems_present():
+    assert set(MODES) >= {"kauri", "kauri-np", "hotstuff-secp", "hotstuff-bls"}
+
+
+def test_kauri_is_tree_bls_stretch():
+    spec = mode_spec("kauri")
+    assert spec.uses_tree
+    assert spec.scheme == "bls"
+    assert spec.pacing == "stretch"
+    assert spec.pipelined
+
+
+def test_kauri_np_is_sequential():
+    spec = mode_spec("kauri-np")
+    assert spec.uses_tree
+    assert not spec.pipelined
+
+
+def test_hotstuff_variants_are_star_chained():
+    for name in ("hotstuff-secp", "hotstuff-bls"):
+        spec = mode_spec(name)
+        assert not spec.uses_tree
+        assert spec.pacing == "chained"
+        assert spec.pipelined
+    assert mode_spec("hotstuff-secp").scheme == "secp"
+    assert mode_spec("hotstuff-bls").scheme == "bls"
+
+
+def test_ablation_mode():
+    spec = mode_spec("kauri-secp")
+    assert spec.uses_tree
+    assert spec.scheme == "secp"
+
+
+def test_pbft_mode():
+    spec = mode_spec("pbft")
+    assert spec.topology == "clique"
+    assert not spec.uses_tree
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ConfigError):
+        mode_spec("raft")
+
+
+def test_invalid_spec_fields_rejected():
+    from repro.core.modes import ModeSpec
+
+    with pytest.raises(ConfigError):
+        ModeSpec("x", "ring", "bls", "stretch")
+    with pytest.raises(ConfigError):
+        ModeSpec("x", "tree", "rsa", "stretch")
+    with pytest.raises(ConfigError):
+        ModeSpec("x", "tree", "bls", "bursty")

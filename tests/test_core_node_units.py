@@ -1,0 +1,158 @@
+"""Mechanism-level tests of ProtocolNode internals."""
+
+import pytest
+
+from repro import Cluster, ProtocolConfig
+from repro.consensus import Block, Phase
+from repro.consensus.block import GENESIS_HASH
+from repro.consensus.vote import QuorumCert, genesis_qc
+from repro.core.node import _is_stale_tag, ProtocolNode
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(n=7, mode="kauri", scenario="national")
+
+
+class TestStaleTagPredicate:
+    def test_protocol_tags_of_older_views_are_stale(self):
+        assert _is_stale_tag(("prop", 1), view=2)
+        assert _is_stale_tag(("vote", 0, 5, "PREPARE"), view=1)
+        assert _is_stale_tag(("qc", 1, 5, "COMMIT"), view=2)
+        assert _is_stale_tag(("newview", 1), view=2)
+
+    def test_current_and_future_views_kept(self):
+        assert not _is_stale_tag(("prop", 2), view=2)
+        assert not _is_stale_tag(("newview", 3), view=2)
+
+    def test_foreign_tags_kept(self):
+        assert not _is_stale_tag("random", view=5)
+        assert not _is_stale_tag(("other", 0), view=5)
+        assert not _is_stale_tag(("prop", "x"), view=5)
+
+
+class TestParseProposal:
+    def test_valid_payload(self, cluster):
+        node = cluster.nodes[1]
+        block = Block.create(1, 0, GENESIS_HASH, 0, 10, 1, 0.0)
+        parsed = ProtocolNode._parse_proposal((block, genesis_qc(), None))
+        assert parsed == (block, genesis_qc(), None)
+
+    def test_garbage_payloads_rejected(self):
+        block = Block.create(1, 0, GENESIS_HASH, 0, 10, 1, 0.0)
+        assert ProtocolNode._parse_proposal("junk") is None
+        assert ProtocolNode._parse_proposal((block,)) is None
+        assert ProtocolNode._parse_proposal((block, "not-a-qc", None)) is None
+        assert ProtocolNode._parse_proposal(("not-a-block", genesis_qc(), None)) is None
+        assert ProtocolNode._parse_proposal((block, genesis_qc(), "junk")) is None
+
+
+class TestPendingCommits:
+    def test_orphan_commit_buffers_until_chain_known(self, cluster):
+        node = cluster.nodes[0]
+        node.start()
+        parent = Block.create(1, 0, GENESIS_HASH, 0, 10, 1, 0.0, salt=1)
+        child = Block.create(2, 0, parent.hash, 0, 10, 1, 0.0, salt=2)
+        node.store.add(child)  # parent unknown: chain incomplete
+        node._commit(child)
+        assert node.committed_height == 0
+        assert child in node._pending_commits
+        node.store.add(parent)
+        node._commit(parent)  # commits parent, then drains the buffer
+        assert node.committed_height == 2
+
+    def test_commit_idempotent(self, cluster):
+        node = cluster.nodes[0]
+        node.start()
+        block = Block.create(1, 0, GENESIS_HASH, 0, 10, 1, 0.0)
+        node.store.add(block)
+        node._commit(block)
+        node._commit(block)
+        assert node.committed_height == 1
+        assert cluster.metrics.commits_per_node[0] == 1
+
+
+class TestLeaderPacing:
+    def make_node(self, mode, stretch=None):
+        config = ProtocolConfig(stretch=stretch)
+        cluster = Cluster(n=7, mode=mode, scenario="national", config=config)
+        return cluster, cluster.nodes[cluster.policy.leader_of(0)]
+
+    def test_effective_stretch_by_mode(self):
+        _, kauri = self.make_node("kauri", stretch=5.0)
+        kauri.start()
+        assert kauri._effective_stretch() == 5.0
+        _, kauri_np = self.make_node("kauri-np")
+        kauri_np.start()
+        assert kauri_np._effective_stretch() == 0.0
+        _, hotstuff = self.make_node("hotstuff-bls")
+        hotstuff.start()
+        assert hotstuff._effective_stretch() == 3.0  # depth 4 = 1 + 3
+
+    def test_model_stretch_when_unset(self):
+        cluster, node = self.make_node("kauri")
+        node.start()
+        assert node._effective_stretch() == pytest.approx(
+            node.model.pipelining_stretch
+        )
+
+    def test_inflight_caps(self):
+        _, kauri = self.make_node("kauri", stretch=5.0)
+        kauri.start()
+        assert kauri._inflight_cap(5.0) == 24  # 4 * (1 + 5)
+        _, np_node = self.make_node("kauri-np")
+        np_node.start()
+        assert np_node._inflight_cap(0.0) == 1
+        _, hs = self.make_node("hotstuff-bls")
+        hs.start()
+        assert hs._inflight_cap(3.0) == 4
+
+    def test_sequential_mode_never_overlaps_instances(self):
+        cluster = Cluster(n=7, mode="kauri-np", scenario="national")
+        cluster.start()
+        cluster.run(duration=5.0)
+        leader = cluster.nodes[cluster.policy.leader_of(0)]
+        assert len(leader._inflight) <= 1
+
+
+class TestViewEntry:
+    def test_enter_view_rebuilds_comm_and_model(self, cluster):
+        node = cluster.nodes[0]
+        node.start()
+        tree0_comm = node.comm
+        node._enter_view(1)
+        assert node.view == 1
+        assert node.comm is not tree0_comm
+        assert node.tree == cluster.policy.configuration(1)
+
+    def test_stopped_node_ignores_view_entry(self, cluster):
+        node = cluster.nodes[0]
+        node.start()
+        node.stop()
+        view_before = node.view
+        node._enter_view(5)
+        assert node.view == view_before
+
+    def test_stop_is_idempotent(self, cluster):
+        node = cluster.nodes[0]
+        node.start()
+        node.stop()
+        node.stop()
+        assert node.stopped
+
+    def test_timeout_sends_newview_to_next_leader(self, cluster):
+        cluster.start()
+        cluster.sim.run(until=0.5)
+        node = cluster.nodes[3]
+        sent_before = cluster.network.messages_sent
+        node._on_timeout()
+        assert node.view == 1
+        # a new-view message was sent toward leader_of(1)
+        assert cluster.network.messages_sent > sent_before
+
+
+class TestNewViewQuorum:
+    def test_quorum_is_2f_plus_1(self):
+        for n, expected in ((7, 5), (13, 9), (100, 67)):
+            cluster = Cluster(n=n, mode="kauri", scenario="national")
+            assert cluster.nodes[0].newview_quorum == expected

@@ -1,0 +1,77 @@
+"""Every example script must run to completion (scaled-down where heavy)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, args=(), timeout=600):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Committed blocks" in out
+    assert "Throughput" in out
+    assert "height=  1" in out
+
+
+def test_capacity_planner():
+    out = run_example("capacity_planner.py", ["100", "200", "25"])
+    assert "Recommended" in out
+    assert "tree h=2" in out
+
+
+def test_capacity_planner_defaults():
+    out = run_example("capacity_planner.py")
+    assert "N=400" in out
+
+
+def test_fault_recovery():
+    out = run_example("fault_recovery.py")
+    assert "Recovery time" in out
+    assert "Reconfigurations: 1" in out
+    assert "tree" in out  # Kauri keeps the tree
+
+
+def test_replicated_kvstore():
+    out = run_example("replicated_kvstore.py")
+    assert "Distinct state digests at the common height: 1" in out
+    assert "verified" in out
+
+
+def test_client_workload():
+    out = run_example("client_workload.py")
+    assert "end-to-end latency" in out
+    assert "committed" in out
+
+
+@pytest.mark.slow
+def test_adaptive_pipelining():
+    out = run_example("adaptive_pipelining.py", timeout=900)
+    assert "adaptive" in out
+    assert "Final stretch" in out
+
+
+@pytest.mark.slow
+def test_scenario_comparison():
+    out = run_example("scenario_comparison.py", timeout=900)
+    assert "Kauri / HotStuff-secp" in out
+
+
+@pytest.mark.slow
+def test_heterogeneous_deployment():
+    out = run_example("heterogeneous_deployment.py", timeout=900)
+    assert "Oregon" in out
+    assert "kauri" in out

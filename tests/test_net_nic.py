@@ -1,0 +1,107 @@
+"""Unit tests for the NIC serialization model."""
+
+import math
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import Nic
+from repro.sim import Simulator
+
+
+def test_single_transmit_takes_size_over_bandwidth():
+    sim = Simulator()
+    nic = Nic(sim)
+    done = []
+    # 1250 bytes at 10 kb/s = 1250*8/10000 = 1.0 s
+    nic.transmit(1250, 10_000.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(1.0)]
+
+
+def test_back_to_back_transmits_serialize_fifo():
+    sim = Simulator()
+    nic = Nic(sim)
+    done = []
+    nic.transmit(1250, 10_000.0, lambda: done.append(("a", sim.now)))
+    nic.transmit(1250, 10_000.0, lambda: done.append(("b", sim.now)))
+    nic.transmit(2500, 10_000.0, lambda: done.append(("c", sim.now)))
+    sim.run()
+    assert done == [
+        ("a", pytest.approx(1.0)),
+        ("b", pytest.approx(2.0)),
+        ("c", pytest.approx(4.0)),
+    ]
+
+
+def test_sending_time_matches_paper_formula():
+    """§4.3: sending time = fanout * block / bandwidth."""
+    sim = Simulator()
+    nic = Nic(sim)
+    fanout, block, bw = 10, 250 * 1024, 25e6  # global scenario, 250 KB
+    finished = []
+    for _ in range(fanout):
+        nic.transmit(block, bw, lambda: finished.append(sim.now))
+    sim.run()
+    expected = fanout * block * 8 / bw
+    assert finished[-1] == pytest.approx(expected)
+
+
+def test_idle_gap_resets_queue():
+    sim = Simulator()
+    nic = Nic(sim)
+    done = []
+    nic.transmit(1250, 10_000.0, lambda: done.append(sim.now))
+    sim.schedule(5.0, nic.transmit, 1250, 10_000.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(1.0), pytest.approx(6.0)]
+
+
+def test_queueing_delay_accounting():
+    sim = Simulator()
+    nic = Nic(sim)
+    nic.transmit(1250, 10_000.0, lambda: None)  # finishes t=1
+    nic.transmit(1250, 10_000.0, lambda: None)  # queued 1s, finishes t=2
+    sim.run()
+    assert nic.total_queueing_delay == pytest.approx(1.0)
+    assert nic.total_tx_time == pytest.approx(2.0)
+    assert nic.bytes_sent == 2500
+    assert nic.messages_sent == 2
+
+
+def test_backlog_and_busy():
+    sim = Simulator()
+    nic = Nic(sim)
+    nic.transmit(2500, 10_000.0, lambda: None)  # 2 s of traffic
+    assert nic.busy
+    assert nic.backlog == pytest.approx(2.0)
+    assert nic.max_backlog == pytest.approx(2.0)
+    sim.run()
+    assert not nic.busy
+    assert nic.backlog == 0.0
+
+
+def test_infinite_bandwidth_is_instant():
+    sim = Simulator()
+    nic = Nic(sim)
+    done = []
+    nic.transmit(10**9, math.inf, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [0.0]
+
+
+def test_utilization():
+    sim = Simulator()
+    nic = Nic(sim)
+    nic.transmit(1250, 10_000.0, lambda: None)  # 1 s busy
+    sim.run(until=4.0)
+    assert nic.utilization() == pytest.approx(0.25)
+
+
+def test_invalid_arguments():
+    sim = Simulator()
+    nic = Nic(sim)
+    with pytest.raises(NetworkError):
+        nic.transmit(-1, 10_000.0, lambda: None)
+    with pytest.raises(NetworkError):
+        nic.transmit(10, 0.0, lambda: None)

@@ -1,0 +1,92 @@
+"""Unit + integration tests for multi-lane NICs (uplink-model ablation)."""
+
+import pytest
+
+from repro import Cluster
+from repro.errors import NetworkError
+from repro.net import Nic
+from repro.sim import Simulator
+
+
+def test_two_lanes_transmit_in_parallel():
+    sim = Simulator()
+    nic = Nic(sim, lanes=2)
+    done = []
+    nic.transmit(1250, 10_000.0, lambda: done.append(("a", sim.now)))
+    nic.transmit(1250, 10_000.0, lambda: done.append(("b", sim.now)))
+    nic.transmit(1250, 10_000.0, lambda: done.append(("c", sim.now)))
+    sim.run()
+    assert done == [
+        ("a", pytest.approx(1.0)),
+        ("b", pytest.approx(1.0)),  # parallel with a
+        ("c", pytest.approx(2.0)),  # queued behind the earlier lane
+    ]
+
+
+def test_single_lane_matches_original_fifo():
+    sim = Simulator()
+    nic = Nic(sim, lanes=1)
+    done = []
+    nic.transmit(1250, 10_000.0, lambda: done.append(sim.now))
+    nic.transmit(1250, 10_000.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_backlog_is_time_to_first_free_lane():
+    sim = Simulator()
+    nic = Nic(sim, lanes=2)
+    nic.transmit(2500, 10_000.0, lambda: None)  # lane 0 busy 2s
+    assert nic.backlog == 0.0  # lane 1 free
+    nic.transmit(1250, 10_000.0, lambda: None)  # lane 1 busy 1s
+    assert nic.backlog == pytest.approx(1.0)
+
+
+def test_utilization_counts_aggregate_capacity():
+    sim = Simulator()
+    nic = Nic(sim, lanes=2)
+    nic.transmit(1250, 10_000.0, lambda: None)
+    sim.run(until=1.0)
+    assert nic.utilization() == pytest.approx(0.5)  # 1 of 2 lane-seconds
+
+
+def test_invalid_lanes_rejected():
+    sim = Simulator()
+    with pytest.raises(NetworkError):
+        Nic(sim, lanes=0)
+
+
+def test_lanes_shrink_hotstuff_sending_time_end_to_end():
+    """More uplink parallelism helps the star's leader most (ablation A4)."""
+
+    def tput(mode, lanes):
+        cluster = Cluster(
+            n=31, mode=mode, scenario="global", uplink_lanes=lanes, seed=1
+        )
+        cluster.start()
+        cluster.run(duration=120.0, max_commits=120)
+        cluster.check_agreement()
+        return cluster.metrics.throughput_txs(start=cluster.sim.now * 0.25)
+
+    hotstuff_1 = tput("hotstuff-bls", 1)
+    hotstuff_8 = tput("hotstuff-bls", 8)
+    assert hotstuff_8 > 2 * hotstuff_1
+    kauri_1 = tput("kauri", 1)
+    kauri_8 = tput("kauri", 8)
+    # Kauri still wins with a parallel uplink; at this small scale (fanout
+    # ~ lane count) the speedup ratio is roughly preserved rather than
+    # shrunk -- the N=100 ablation bench shows the shrink.
+    assert kauri_8 > hotstuff_8
+    assert (kauri_8 / hotstuff_8) < 1.3 * (kauri_1 / hotstuff_1)
+
+
+def test_model_accounts_for_lanes():
+    from repro.config import GLOBAL, KB
+    from repro.core import PerfModel
+    from repro.crypto.costs import BLS_COSTS
+
+    one = PerfModel.for_topology(100, 2, 10, GLOBAL, 250 * KB, BLS_COSTS)
+    five = PerfModel.for_topology(
+        100, 2, 10, GLOBAL, 250 * KB, BLS_COSTS, uplink_lanes=5
+    )
+    assert five.sending_time == pytest.approx(one.sending_time / 5)

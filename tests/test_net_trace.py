@@ -1,0 +1,97 @@
+"""Tests for message tracing and protocol-flow assertions."""
+
+import pytest
+
+from repro import Cluster
+from repro.net.trace import MessageTrace
+
+
+def traced_cluster(**kwargs):
+    cluster = Cluster(**kwargs)
+    trace = MessageTrace()
+    cluster.network.observers.append(trace)
+    return cluster, trace
+
+
+class TestMessageTrace:
+    def test_counts_and_bytes(self):
+        cluster, trace = traced_cluster(n=7, mode="kauri", scenario="national")
+        cluster.start()
+        cluster.run(duration=3.0)
+        summary = trace.summary()
+        assert summary["prop"]["sent"] > 0
+        assert summary["vote"]["sent"] > 0
+        assert summary["qc"]["sent"] > 0
+        assert summary["prop"]["bytes"] > summary["vote"]["bytes"]
+        assert len(trace) > 0
+
+    def test_drop_events_recorded(self):
+        cluster, trace = traced_cluster(n=7, mode="kauri", scenario="national")
+        cluster.crash_at(3, 1.0)
+        cluster.start()
+        cluster.run(duration=5.0)
+        dropped = sum(
+            counts["dropped"] for counts in trace.summary().values()
+        )
+        assert dropped > 0
+
+    def test_ring_buffer_bounded(self):
+        cluster, _ = traced_cluster(n=7, mode="kauri", scenario="national")
+        small = MessageTrace(capacity=10)
+        cluster.network.observers.append(small)
+        cluster.start()
+        cluster.run(duration=3.0)
+        assert len(small) == 10
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MessageTrace(capacity=0)
+
+
+class TestProtocolFlowShape:
+    def test_proposals_flow_level_by_level(self):
+        """Algorithm 2: each proposal send goes parent -> child, and a
+        node forwards a height only after receiving it."""
+        cluster, trace = traced_cluster(n=13, mode="kauri", scenario="national")
+        tree = cluster.policy.configuration(0)
+        cluster.start()
+        cluster.run(duration=2.0)
+        for event in trace.sends("prop"):
+            assert tree.parent(event.dst) == event.src
+
+    def test_votes_flow_child_to_parent(self):
+        """Algorithm 3: vote aggregates travel strictly upward."""
+        cluster, trace = traced_cluster(n=13, mode="kauri", scenario="national")
+        tree = cluster.policy.configuration(0)
+        cluster.start()
+        cluster.run(duration=2.0)
+        vote_sends = trace.sends("vote")
+        assert vote_sends
+        for event in vote_sends:
+            assert tree.parent(event.src) == event.dst
+
+    def test_leaf_delivery_lags_internal_delivery(self):
+        """Dissemination reaches depth-1 nodes before depth-2 nodes."""
+        cluster, trace = traced_cluster(n=13, mode="kauri", scenario="national")
+        tree = cluster.policy.configuration(0)
+        cluster.start()
+        cluster.run(duration=2.0)
+        prop_deliveries = trace.deliveries("prop")
+        first_by_node = {}
+        for event in prop_deliveries:
+            first_by_node.setdefault(event.dst, event.time)
+        internals = [n for n in tree.internal_nodes if n != tree.root]
+        leaves_under = tree.children(internals[0])
+        assert first_by_node[internals[0]] < min(
+            first_by_node[leaf] for leaf in leaves_under if leaf in first_by_node
+        )
+
+    def test_star_has_single_hop_flows(self):
+        cluster, trace = traced_cluster(n=7, mode="hotstuff-bls", scenario="national")
+        cluster.start()
+        cluster.run(duration=3.0)
+        leader = cluster.policy.leader_of(0)
+        for event in trace.sends("prop"):
+            assert event.src == leader
+        for event in trace.sends("vote"):
+            assert event.dst == leader

@@ -1,0 +1,124 @@
+"""End-to-end client path: submission over the network, mempools,
+commit notifications, submit-to-commit latency (§2's client processes)."""
+
+import pytest
+
+from repro import Cluster, ProtocolConfig
+from repro.config import KB
+from repro.errors import ConfigError
+from repro.runtime import ClientHarness, MempoolWorkload, Tx
+
+
+def make_client_cluster(n=7, rate=2000.0, clients=4, block_kb=64, seed=0):
+    config = ProtocolConfig(block_size=block_kb * KB)
+    cluster = Cluster(
+        n=n,
+        mode="kauri",
+        scenario="national",
+        config=config,
+        seed=seed,
+        workload_factory=lambda node_id: MempoolWorkload(config),
+    )
+    harness = ClientHarness(cluster, num_clients=clients, rate_txs=rate)
+    return cluster, harness
+
+
+class TestMempoolWorkload:
+    def test_drains_oldest_first_up_to_block_size(self):
+        config = ProtocolConfig(block_size=1024, tx_size=512)
+        pool = MempoolWorkload(config)
+        txs = [Tx((0, k), 400, 0.0) for k in range(5)]
+        pool.ingest(txs)
+        fill = pool.next_fill(1.0)
+        assert fill.num_txs == 2  # 2 * 400 <= 1024 < 3 * 400
+        assert fill.payload_size == 800
+        assert fill.tx_ids == ((0, 0), (0, 1))
+        assert pool.queued_txs == 3
+
+    def test_empty_mempool_gives_empty_block(self):
+        pool = MempoolWorkload(ProtocolConfig())
+        fill = pool.next_fill(0.0)
+        assert fill.num_txs == 0
+        assert fill.tx_ids == ()
+
+    def test_non_tx_garbage_ignored(self):
+        pool = MempoolWorkload(ProtocolConfig())
+        pool.ingest(["junk", 42])
+        assert pool.queued_txs == 0
+
+
+class TestClientHarness:
+    def test_end_to_end_latency_measured(self):
+        cluster, harness = make_client_cluster()
+        cluster.start()
+        harness.start()
+        cluster.run(duration=15.0)
+        cluster.check_agreement()
+        stats = harness.e2e_latency_stats()
+        assert stats["count"] > 100
+        # e2e latency includes submission + consensus: above consensus-only
+        consensus_p50 = cluster.metrics.latency_stats()["p50"]
+        assert stats["p50"] > consensus_p50 * 0.9
+        assert stats["p95"] >= stats["p50"]
+
+    def test_committed_txs_bounded_by_offered_load(self):
+        cluster, harness = make_client_cluster(rate=1000.0)
+        cluster.start()
+        harness.start()
+        cluster.run(duration=10.0)
+        assert harness.committed_txs <= 1000.0 * 10.0 * 1.01
+
+    def test_blocks_carry_real_tx_ids(self):
+        cluster, harness = make_client_cluster()
+        cluster.start()
+        harness.start()
+        cluster.run(duration=10.0)
+        committed_with_txs = [
+            r for r in cluster.metrics.records() if r.num_txs > 0
+        ]
+        assert committed_with_txs
+        leader = cluster.nodes[cluster.policy.leader_of(0)]
+        block = next(
+            b for b in leader.store.commit_log if b.tx_ids
+        )
+        assert all(isinstance(tx_id, tuple) for tx_id in block.tx_ids)
+
+    def test_clients_survive_leader_change(self):
+        cluster, harness = make_client_cluster(seed=2)
+        cluster.crash_at(cluster.policy.leader_of(0), 5.0)
+        cluster.start()
+        harness.start()
+        cluster.run(duration=30.0)
+        cluster.check_agreement()
+        # commits resumed with client load after the view change
+        post_fault = [
+            lat for lat in harness.e2e_latencies
+        ]
+        assert harness.committed_txs > 0
+        assert cluster.metrics.commit_gap_after(6.0) is not None
+
+    def test_validation(self):
+        cluster, _ = make_client_cluster()
+        with pytest.raises(ConfigError):
+            ClientHarness(cluster, num_clients=0)
+        with pytest.raises(ConfigError):
+            ClientHarness(cluster, rate_txs=0)
+
+    def test_heterogeneous_clients_inherit_host_links(self):
+        """Client ids map onto node link parameters under cluster netem."""
+        from repro import resilientdb_clusters
+
+        clusters = resilientdb_clusters(per_cluster=2)
+        config = ProtocolConfig(block_size=64 * KB)
+        cluster = Cluster(
+            mode="kauri",
+            scenario=clusters,
+            config=config,
+            workload_factory=lambda node_id: MempoolWorkload(config),
+        )
+        harness = ClientHarness(cluster, num_clients=2, rate_txs=500.0)
+        cluster.start()
+        harness.start()
+        cluster.run(duration=20.0)
+        cluster.check_agreement()
+        assert harness.committed_txs > 0

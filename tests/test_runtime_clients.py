@@ -1,0 +1,64 @@
+"""Unit tests for client workloads."""
+
+import random
+
+import pytest
+
+from repro.config import KB, ProtocolConfig
+from repro.errors import ConfigError
+from repro.runtime import PoissonWorkload, SaturatedWorkload
+
+
+@pytest.fixture
+def config():
+    return ProtocolConfig(block_size=100 * KB, tx_size=512)
+
+
+def test_saturated_always_full(config):
+    workload = SaturatedWorkload(config)
+    for now in (0.0, 1.0, 1.0, 100.0):
+        fill = workload.next_fill(now)
+        assert fill.payload_size == config.block_size
+        assert fill.num_txs == config.txs_per_block
+
+
+def test_poisson_accumulates_arrivals(config):
+    workload = PoissonWorkload(config, rate_txs=100.0, jitter=False)
+    fill = workload.next_fill(1.0)  # 100 txs accumulated
+    assert fill.num_txs == 100
+    assert fill.payload_size == 100 * config.tx_size
+
+
+def test_poisson_caps_at_block_size(config):
+    workload = PoissonWorkload(config, rate_txs=1000.0, jitter=False)
+    fill = workload.next_fill(100.0)  # 100k txs >> block capacity
+    assert fill.num_txs == config.txs_per_block
+    assert workload.queued_txs > 0  # backlog retained
+
+
+def test_poisson_empty_interval(config):
+    workload = PoissonWorkload(config, rate_txs=100.0, jitter=False)
+    workload.next_fill(1.0)
+    fill = workload.next_fill(1.0)  # zero elapsed
+    assert fill.num_txs == 0
+
+
+def test_poisson_backlog_carries_over(config):
+    workload = PoissonWorkload(config, rate_txs=10.0, jitter=False)
+    a = workload.next_fill(0.05)  # 0.5 txs -> 0 taken, 0.5 queued
+    b = workload.next_fill(0.15)  # +1 tx -> 1.5 -> 1 taken
+    assert a.num_txs == 0
+    assert b.num_txs == 1
+
+
+def test_poisson_jitter_deterministic_by_rng(config):
+    a = PoissonWorkload(config, rate_txs=100.0, rng=random.Random(7))
+    b = PoissonWorkload(config, rate_txs=100.0, rng=random.Random(7))
+    fills_a = [a.next_fill(t).num_txs for t in (1.0, 2.0, 3.0)]
+    fills_b = [b.next_fill(t).num_txs for t in (1.0, 2.0, 3.0)]
+    assert fills_a == fills_b
+
+
+def test_poisson_validation(config):
+    with pytest.raises(ConfigError):
+        PoissonWorkload(config, rate_txs=-1.0)

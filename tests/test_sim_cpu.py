@@ -1,0 +1,136 @@
+"""Unit tests for the FIFO CPU resource."""
+
+import pytest
+
+from repro.errors import SimulationError, TaskCancelled
+from repro.sim import Cpu, Simulator, Sleep
+from repro.sim.process import spawn
+
+
+def run_jobs(sim, cpu, jobs):
+    """Spawn one task per (delay, cost, tag); return completion log."""
+    log = []
+
+    def job(delay, cost, tag):
+        yield Sleep(delay)
+        yield from cpu.consume(cost)
+        log.append((tag, sim.now))
+
+    for delay, cost, tag in jobs:
+        spawn(sim, job(delay, cost, tag))
+    return log
+
+
+def test_single_job_takes_its_cost():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    log = run_jobs(sim, cpu, [(0.0, 2.0, "a")])
+    sim.run()
+    assert log == [("a", 2.0)]
+
+
+def test_concurrent_jobs_serialize_fifo():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    log = run_jobs(sim, cpu, [(0.0, 2.0, "a"), (0.0, 3.0, "b"), (0.0, 1.0, "c")])
+    sim.run()
+    assert log == [("a", 2.0), ("b", 5.0), ("c", 6.0)]
+
+
+def test_idle_gap_then_new_job():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    log = run_jobs(sim, cpu, [(0.0, 1.0, "a"), (10.0, 1.0, "b")])
+    sim.run()
+    assert log == [("a", 1.0), ("b", 11.0)]
+
+
+def test_arrival_mid_job_queues():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    log = run_jobs(sim, cpu, [(0.0, 5.0, "long"), (2.0, 1.0, "late")])
+    sim.run()
+    assert log == [("long", 5.0), ("late", 6.0)]
+
+
+def test_zero_cost_is_free_and_unqueued():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    log = run_jobs(sim, cpu, [(0.0, 10.0, "busy"), (1.0, 0.0, "free")])
+    sim.run()
+    assert ("free", 1.0) in log
+
+
+def test_negative_cost_rejected():
+    sim = Simulator()
+    cpu = Cpu(sim)
+
+    def bad():
+        yield from cpu.consume(-1.0)
+
+    spawn(sim, bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_busy_time_and_utilization():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    run_jobs(sim, cpu, [(0.0, 2.0, "a"), (0.0, 2.0, "b")])
+    sim.run(until=8.0)
+    assert cpu.busy_time == pytest.approx(4.0)
+    assert cpu.utilization() == pytest.approx(0.5)
+    assert cpu.jobs_completed == 2
+
+
+def test_queue_length_observable():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    run_jobs(sim, cpu, [(0.0, 5.0, "a"), (1.0, 5.0, "b"), (1.0, 5.0, "c")])
+    sim.run(until=2.0)
+    assert cpu.busy
+    assert cpu.queue_length == 2
+    sim.run()
+    assert not cpu.busy
+    assert cpu.queue_length == 0
+
+
+def test_cancelled_queued_waiter_does_not_stall_cpu():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    log = []
+
+    def job(delay, cost, tag):
+        yield Sleep(delay)
+        yield from cpu.consume(cost)
+        log.append((tag, sim.now))
+
+    spawn(sim, job(0.0, 5.0, "first"))
+    victim = spawn(sim, job(1.0, 5.0, "victim"))
+    spawn(sim, job(2.0, 1.0, "survivor"))
+    sim.schedule(3.0, victim.cancel)
+    sim.run()
+    assert ("first", 5.0) in log
+    assert ("survivor", 6.0) in log
+    assert all(tag != "victim" for tag, _ in log)
+
+
+def test_cancelled_running_job_releases_cpu():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    log = []
+
+    def job(delay, cost, tag):
+        yield Sleep(delay)
+        try:
+            yield from cpu.consume(cost)
+            log.append((tag, sim.now))
+        except TaskCancelled:
+            raise
+
+    runner = spawn(sim, job(0.0, 100.0, "runner"))
+    spawn(sim, job(1.0, 1.0, "next"))
+    sim.schedule(2.0, runner.cancel)
+    sim.run()
+    assert log == [("next", 3.0)]
+    assert not cpu.busy

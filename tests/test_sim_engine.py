@@ -1,0 +1,187 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    order = []
+    for tag in range(10):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        seen.append(("outer", sim.now))
+        sim.schedule(0.5, inner)
+
+    def inner():
+        seen.append(("inner", sim.now))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert seen == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_zero_delay_event_fires_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [2.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(5.0, fired.append, True)
+    sim.run()
+    assert fired == [True]
+    assert sim.now == 5.0
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.pending_events == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_run_until_advances_clock_without_events():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_leaves_later_events_pending():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(20.0, fired.append, "late")
+    sim.run(until=10.0)
+    assert fired == ["early"]
+    assert sim.now == 10.0
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+    assert sim.pending_events == 1
+
+
+def test_step_returns_false_when_drained():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_strict_mode_raises_callback_errors():
+    sim = Simulator(strict=True)
+    sim.schedule(1.0, lambda: 1 / 0)
+    with pytest.raises(ZeroDivisionError):
+        sim.run()
+
+
+def test_lenient_mode_records_failures_and_continues():
+    sim = Simulator(strict=False)
+    fired = []
+    sim.schedule(1.0, lambda: 1 / 0)
+    sim.schedule(2.0, fired.append, "after")
+    sim.run()
+    assert fired == ["after"]
+    assert len(sim.failures) == 1
+    assert isinstance(sim.failures[0], ZeroDivisionError)
+
+
+def test_deterministic_rng_from_seed():
+    a = [Simulator(seed=42).rng.random() for _ in range(3)]
+    b = [Simulator(seed=42).rng.random() for _ in range(3)]
+    assert a == b
+    assert Simulator(seed=1).rng.random() != Simulator(seed=2).rng.random()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def recurse():
+        sim.run()
+
+    sim.schedule(1.0, recurse)
+    with pytest.raises(SimulationError):
+        sim.run()
