@@ -7,26 +7,26 @@ rather than O(N). Running Kauri's tree with secp signature lists
 (kauri-secp) isolates the aggregation choice from the topology choice.
 """
 
-from conftest import SCALE, run_once
+from conftest import SCALE, run_grid, run_once
 
 from repro.analysis import adaptive_duration, format_table
 from repro.config import GLOBAL, KB
-from repro.runtime import run_experiment
+from repro.runtime import ExperimentSpec
 
 
 def sweep():
-    out = {}
-    for n in (100, 200):
-        for mode in ("kauri", "kauri-secp"):
-            duration = adaptive_duration(mode, n, GLOBAL, 250 * KB, scale=SCALE)
-            out[(n, mode)] = run_experiment(
-                mode=mode,
-                scenario="global",
-                n=n,
-                duration=duration,
-                max_commits=int(120 * SCALE) or 12,
-            )
-    return out
+    cells = [(n, mode) for n in (100, 200) for mode in ("kauri", "kauri-secp")]
+    specs = [
+        ExperimentSpec(
+            mode=mode,
+            scenario="global",
+            n=n,
+            duration=adaptive_duration(mode, n, GLOBAL, 250 * KB, scale=SCALE),
+            max_commits=int(120 * SCALE) or 12,
+        )
+        for n, mode in cells
+    ]
+    return dict(zip(cells, run_grid(specs)))
 
 
 def test_ablation_bls_vs_secp_in_tree(benchmark, save_table):

@@ -7,15 +7,17 @@ under-pipelining (stretch ~ HotStuff's implicit 0.25-per-round) and heavy
 over-pipelining, across two scenarios.
 """
 
-from conftest import SCALE, run_once
+from conftest import SCALE, run_grid, run_once
 
 from repro.analysis import adaptive_duration, format_table
 from repro.config import KB, SCENARIOS
-from repro.runtime import run_experiment
+from repro.runtime import ExperimentSpec
 
 
 def sweep():
-    rows = []
+    from repro.analysis.figures import _model_for
+
+    cells, specs = [], []
     for scenario in ("global", "regional"):
         params = SCENARIOS[scenario]
         duration = adaptive_duration("kauri", 100, params, 250 * KB, scale=SCALE)
@@ -25,29 +27,32 @@ def sweep():
             ("over (x8)", None),
         ):
             if label.startswith("over"):
-                from repro.analysis.figures import _model_for
-
                 stretch = 8.0 * max(
                     0.5, _model_for("kauri", 100, params, 250 * KB).pipelining_stretch
                 )
-            result = run_experiment(
-                mode="kauri",
-                scenario=scenario,
-                n=100,
-                stretch=stretch,
-                duration=duration,
-                max_commits=int(150 * SCALE) or 15,
-            )
-            rows.append(
-                (
-                    scenario,
-                    label,
-                    round(result.stretch, 2) if result.stretch is not None else "auto",
-                    round(result.throughput_txs / 1000.0, 3),
-                    round(result.latency["p50"], 2),
-                    result.instance_failures,
+            cells.append((scenario, label))
+            specs.append(
+                ExperimentSpec(
+                    mode="kauri",
+                    scenario=scenario,
+                    n=100,
+                    stretch=stretch,
+                    duration=duration,
+                    max_commits=int(150 * SCALE) or 15,
                 )
             )
+    rows = []
+    for (scenario, label), result in zip(cells, run_grid(specs)):
+        rows.append(
+            (
+                scenario,
+                label,
+                round(result.stretch, 2) if result.stretch is not None else "auto",
+                round(result.throughput_txs / 1000.0, 3),
+                round(result.latency["p50"], 2),
+                result.instance_failures,
+            )
+        )
     return rows
 
 

@@ -10,29 +10,32 @@ qualitative conclusion (trees win, more with scale) is robust to the
 substitution while the absolute ratio depends on it.
 """
 
-from conftest import SCALE, run_once
+from conftest import SCALE, run_grid, run_once
 
 from repro.analysis import adaptive_duration, format_table
 from repro.config import GLOBAL, KB
-from repro.runtime import run_experiment
+from repro.runtime import ExperimentSpec
 
 
 def sweep():
-    out = {}
+    cells, specs = [], []
     for lanes in (1, 4, 16):
         for mode in ("kauri", "hotstuff-bls"):
             duration = adaptive_duration(mode, 100, GLOBAL, 250 * KB, scale=SCALE)
             if mode.startswith("hotstuff"):
                 duration = max(duration / lanes, 60.0)  # lanes shrink rounds
-            out[(lanes, mode)] = run_experiment(
-                mode=mode,
-                scenario="global",
-                n=100,
-                duration=duration,
-                max_commits=int(120 * SCALE) or 12,
-                uplink_lanes=lanes,
+            cells.append((lanes, mode))
+            specs.append(
+                ExperimentSpec(
+                    mode=mode,
+                    scenario="global",
+                    n=100,
+                    duration=duration,
+                    max_commits=int(120 * SCALE) or 12,
+                    uplink_lanes=lanes,
+                )
             )
-    return out
+    return dict(zip(cells, run_grid(specs)))
 
 
 def test_ablation_uplink_parallelism(benchmark, save_table):

@@ -6,13 +6,13 @@ root's sending time halves -- at a modest latency cost; HotStuff latency
 swings with bandwidth while Kauri's barely moves.
 """
 
-from conftest import SCALE, run_once
+from conftest import CACHE, JOBS, SCALE, run_once
 
 from repro.analysis import fig10_tree_height, format_table
 
 
 def test_fig10_tree_height(benchmark, save_table):
-    data = run_once(benchmark, lambda: fig10_tree_height(scale=SCALE))
+    data = run_once(benchmark, lambda: fig10_tree_height(scale=SCALE, jobs=JOBS, use_cache=CACHE))
     rows = []
     for label, series in data.items():
         for bw, ktx, lat_ms, saturated in series:

@@ -9,13 +9,13 @@ Kauri-np is the *worst* performer -- without pipelining the high RTT
 dominates the remaining time.
 """
 
-from conftest import SCALE, run_once
+from conftest import CACHE, JOBS, SCALE, run_once
 
 from repro.analysis import fig11_heterogeneous, format_table
 
 
 def test_fig11_heterogeneous(benchmark, save_table):
-    results = run_once(benchmark, lambda: fig11_heterogeneous(scale=SCALE))
+    results = run_once(benchmark, lambda: fig11_heterogeneous(scale=SCALE, jobs=JOBS, use_cache=CACHE))
     rows = [
         (
             r.mode,

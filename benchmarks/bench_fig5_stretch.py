@@ -6,7 +6,7 @@ prediction, then degrades (over-pipelining); smaller blocks need larger
 stretch values.
 """
 
-from conftest import SCALE, run_once
+from conftest import CACHE, JOBS, SCALE, run_once
 
 from repro.analysis import fig5_stretch_sweep, format_table
 from repro.config import GLOBAL, KB
@@ -21,6 +21,8 @@ def test_fig5_throughput_vs_stretch(benchmark, save_table):
             block_sizes_kb=(50, 100, 200, 250),
             stretches=(0.5, 1, 1.5, 2, 3, 5, 8, 12),
             scale=SCALE,
+            jobs=JOBS,
+            use_cache=CACHE,
         ),
     )
     rows = []

@@ -11,14 +11,14 @@ The paper's headline figure. Shapes to reproduce:
   CPU-heavier BLS operations bite.
 """
 
-from conftest import SCALE, run_once
+from conftest import CACHE, JOBS, SCALE, run_once
 
 from repro.analysis import fig6_scenarios, format_table
 
 
 def test_fig6_throughput_across_scenarios(benchmark, save_table, bench_ns):
     results = run_once(
-        benchmark, lambda: fig6_scenarios(ns=bench_ns, scale=SCALE)
+        benchmark, lambda: fig6_scenarios(ns=bench_ns, scale=SCALE, jobs=JOBS, use_cache=CACHE)
     )
     rows = [
         (

@@ -5,13 +5,13 @@ throughput decays as RTT grows; Kauri holds nearly constant because the
 model raises the pipelining stretch with the RTT (7 -> 33 in the paper).
 """
 
-from conftest import SCALE, run_once
+from conftest import CACHE, JOBS, SCALE, run_once
 
 from repro.analysis import fig7_rtt_sweep, format_table
 
 
 def test_fig7_rtt_sweep(benchmark, save_table):
-    data = run_once(benchmark, lambda: fig7_rtt_sweep(scale=SCALE))
+    data = run_once(benchmark, lambda: fig7_rtt_sweep(scale=SCALE, jobs=JOBS, use_cache=CACHE))
     rows = []
     for mode, series in data.items():
         for rtt, ktx, stretch in series:

@@ -7,13 +7,13 @@ two communication steps beat Kauri's 2h steps. The analytical
 infinite-bandwidth floors (HotStuff at best half of Kauri) are included.
 """
 
-from conftest import SCALE, run_once
+from conftest import CACHE, JOBS, SCALE, run_once
 
 from repro.analysis import fig8_latency_bandwidth, format_table
 
 
 def test_fig8_latency_vs_bandwidth(benchmark, save_table):
-    data = run_once(benchmark, lambda: fig8_latency_bandwidth(scale=SCALE))
+    data = run_once(benchmark, lambda: fig8_latency_bandwidth(scale=SCALE, jobs=JOBS, use_cache=CACHE))
     rows = []
     for mode, series in sorted(data.items()):
         for bw, latency_ms in series:

@@ -6,13 +6,13 @@ with block size for everyone but much faster for the HotStuff variants,
 whose latency overtakes Kauri's beyond ~125 KB blocks.
 """
 
-from conftest import SCALE, run_once
+from conftest import CACHE, JOBS, SCALE, run_once
 
 from repro.analysis import fig9_throughput_latency, format_table
 
 
 def test_fig9_throughput_vs_latency(benchmark, save_table):
-    data = run_once(benchmark, lambda: fig9_throughput_latency(scale=SCALE))
+    data = run_once(benchmark, lambda: fig9_throughput_latency(scale=SCALE, jobs=JOBS, use_cache=CACHE))
     rows = []
     for mode, series in data.items():
         for kb, ktx, lat_ms in series:

@@ -8,12 +8,12 @@ for every (scenario, system, N) cell, the §4.3 model's expected throughput
 must be within a small factor of the measured steady state.
 """
 
-from conftest import SCALE, run_once
+from conftest import SCALE, run_grid, run_once
 
 from repro.analysis import adaptive_duration, format_table
 from repro.analysis.figures import _model_for
 from repro.config import KB, SCENARIOS, ProtocolConfig
-from repro.runtime import run_experiment
+from repro.runtime import ExperimentSpec
 
 GRID = [
     ("national", "kauri", 100),
@@ -27,20 +27,24 @@ GRID = [
 
 def sweep():
     config = ProtocolConfig()
+    specs = [
+        ExperimentSpec(
+            mode=mode,
+            scenario=scenario,
+            n=n,
+            duration=adaptive_duration(
+                mode, n, SCENARIOS[scenario], config.block_size, scale=SCALE
+            ),
+            max_commits=int(150 * SCALE) or 15,
+        )
+        for scenario, mode, n in GRID
+    ]
     rows = []
-    for scenario, mode, n in GRID:
+    for (scenario, mode, n), result in zip(GRID, run_grid(specs)):
         params = SCENARIOS[scenario]
         model = _model_for(mode, n, params, config.block_size)
         pipelined = mode != "kauri-np"
         predicted = model.expected_throughput_txs(config, pipelined=pipelined)
-        duration = adaptive_duration(mode, n, params, config.block_size, scale=SCALE)
-        result = run_experiment(
-            mode=mode,
-            scenario=scenario,
-            n=n,
-            duration=duration,
-            max_commits=int(150 * SCALE) or 15,
-        )
         rows.append(
             (
                 scenario,

@@ -7,6 +7,12 @@ Environment knobs:
   evaluation at meaningful statistical depth.
 - ``REPRO_BENCH_FULL_N`` (set to 1): include N=400 points where the default
   grid stops at N=200 to bound wall-clock time.
+- ``REPRO_BENCH_JOBS`` (int, default 1): worker processes for the sweep
+  engine; every grid-shaped bench fans its independent cells out over this
+  many processes (results are identical for any value -- each cell is a
+  deterministic function of its spec).
+- ``REPRO_BENCH_CACHE`` (set to 1): reuse completed cells from the on-disk
+  result cache under ``benchmarks/results/.cache/``.
 
 Every bench prints the paper-style table it regenerates and also writes it
 to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference the
@@ -20,6 +26,8 @@ import pytest
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 FULL_N = os.environ.get("REPRO_BENCH_FULL_N", "") not in ("", "0")
+JOBS = max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1"))
+CACHE = os.environ.get("REPRO_BENCH_CACHE", "") not in ("", "0")
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -27,6 +35,11 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 @pytest.fixture
 def scale():
     return SCALE
+
+
+@pytest.fixture
+def jobs():
+    return JOBS
 
 
 @pytest.fixture
@@ -45,6 +58,17 @@ def save_table():
         return str(path)
 
     return _save
+
+
+def run_grid(specs):
+    """Run a list of ExperimentSpecs through the shared sweep engine.
+
+    Honours ``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_CACHE``; results come back
+    in spec order, so callers can ``zip`` them with their cell keys.
+    """
+    from repro.runtime.sweep import SweepRunner
+
+    return SweepRunner(jobs=JOBS, cache=CACHE).run(specs)
 
 
 def run_once(benchmark, fn):

@@ -7,7 +7,7 @@ wraps these one-to-one, and EXPERIMENTS.md records paper-vs-measured.
 """
 
 from repro.analysis.report import format_table
-from repro.analysis.tables import table1_rows, table2_rows
+from repro.analysis.tables import table1_rows, table2_measured_rows, table2_rows
 from repro.analysis.pipeline_viz import (
     InstanceSpan,
     extract_spans,
@@ -30,6 +30,7 @@ __all__ = [
     "format_table",
     "table1_rows",
     "table2_rows",
+    "table2_measured_rows",
     "InstanceSpan",
     "extract_spans",
     "render_gantt",

@@ -6,6 +6,14 @@ instance latency (slow configurations need longer windows to commit a
 meaningful number of blocks; fast ones are capped by ``max_commits`` so the
 event count stays bounded). ``scale`` < 1.0 shrinks horizons uniformly for
 quick smoke runs.
+
+Each generator builds its grid as a list of
+:class:`~repro.runtime.sweep.ExperimentSpec` cells and hands it to a
+:class:`~repro.runtime.sweep.SweepRunner`: ``jobs`` fans the independent
+cells out over a process pool (``None`` reads ``$REPRO_SWEEP_JOBS``), and
+``use_cache`` re-uses completed cells from the on-disk result cache.
+Results are identical for any ``jobs`` value -- every cell is a
+deterministic function of its spec.
 """
 
 from __future__ import annotations
@@ -29,9 +37,15 @@ from repro.config import (
 from repro.core.modes import mode_spec
 from repro.core.perfmodel import PerfModel
 from repro.crypto.costs import BLS_COSTS, SECP_COSTS
-from repro.runtime.experiment import ExperimentResult, run_experiment
+from repro.runtime.experiment import ExperimentResult
+from repro.runtime.sweep import ExperimentSpec, SweepRunner
 
 _COSTS = {"bls": BLS_COSTS, "secp": SECP_COSTS}
+
+
+def _runner(jobs: Optional[int], use_cache: bool) -> SweepRunner:
+    """The sweep engine instance shared by every figure generator."""
+    return SweepRunner(jobs=jobs, cache=use_cache)
 
 
 def _model_for(mode: str, n: int, params: NetworkParams, block_size: int, height: int = 2) -> PerfModel:
@@ -67,25 +81,27 @@ def fig5_stretch_sweep(
     n: int = 100,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    use_cache: bool = False,
 ) -> Dict[int, List[Tuple[float, float]]]:
     """Global scenario, N=100: throughput (Ktx/s) per stretch per block size."""
-    out: Dict[int, List[Tuple[float, float]]] = {}
-    for kb in block_sizes_kb:
-        series = []
-        for stretch in stretches:
-            duration = adaptive_duration("kauri", n, GLOBAL, kb * KB, scale=scale)
-            result = run_experiment(
-                mode="kauri",
-                scenario="global",
-                n=n,
-                block_size=kb * KB,
-                stretch=float(stretch),
-                duration=duration,
-                max_commits=int(200 * scale) or 20,
-                seed=seed,
-            )
-            series.append((float(stretch), result.throughput_txs / 1000.0))
-        out[kb] = series
+    cells = [(kb, float(stretch)) for kb in block_sizes_kb for stretch in stretches]
+    specs = [
+        ExperimentSpec(
+            mode="kauri",
+            scenario="global",
+            n=n,
+            block_size=kb * KB,
+            stretch=stretch,
+            duration=adaptive_duration("kauri", n, GLOBAL, kb * KB, scale=scale),
+            max_commits=int(200 * scale) or 20,
+            seed=seed,
+        )
+        for kb, stretch in cells
+    ]
+    out: Dict[int, List[Tuple[float, float]]] = {kb: [] for kb in block_sizes_kb}
+    for (kb, stretch), result in zip(cells, _runner(jobs, use_cache).run(specs)):
+        out[kb].append((stretch, result.throughput_txs / 1000.0))
     return out
 
 
@@ -98,30 +114,29 @@ def fig6_scenarios(
     modes: Sequence[str] = ("kauri", "kauri-np", "hotstuff-secp", "hotstuff-bls"),
     scale: float = 1.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    use_cache: bool = False,
 ) -> List[ExperimentResult]:
     """The paper's headline grid: every system in every scenario at every
     size, 250 KB blocks, model-driven stretch for Kauri."""
     from repro.config import SCENARIOS
 
-    results = []
-    for scenario in scenarios:
-        params = SCENARIOS[scenario]
-        for n in ns:
-            for mode in modes:
-                duration = adaptive_duration(
-                    mode, n, params, 250 * KB, scale=scale
-                )
-                results.append(
-                    run_experiment(
-                        mode=mode,
-                        scenario=scenario,
-                        n=n,
-                        duration=duration,
-                        max_commits=int(150 * scale) or 15,
-                        seed=seed,
-                    )
-                )
-    return results
+    specs = [
+        ExperimentSpec(
+            mode=mode,
+            scenario=scenario,
+            n=n,
+            duration=adaptive_duration(
+                mode, n, SCENARIOS[scenario], 250 * KB, scale=scale
+            ),
+            max_commits=int(150 * scale) or 15,
+            seed=seed,
+        )
+        for scenario in scenarios
+        for n in ns
+        for mode in modes
+    ]
+    return _runner(jobs, use_cache).run(specs)
 
 
 # ---------------------------------------------------------------------------
@@ -133,25 +148,32 @@ def fig7_rtt_sweep(
     n: int = 100,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    use_cache: bool = False,
 ) -> Dict[str, List[Tuple[int, float, float]]]:
     """Regional bandwidth (100 Mb/s), varying RTT: (rtt_ms, Ktx/s, stretch)."""
+    cells = [
+        (rtt, mode, REGIONAL.with_rtt(ms(rtt))) for rtt in rtts_ms for mode in modes
+    ]
+    specs = [
+        ExperimentSpec(
+            mode=mode,
+            scenario=params,
+            n=n,
+            duration=adaptive_duration(mode, n, params, 250 * KB, scale=scale),
+            max_commits=int(150 * scale) or 15,
+            seed=seed,
+        )
+        for rtt, mode, params in cells
+    ]
     out: Dict[str, List[Tuple[int, float, float]]] = {mode: [] for mode in modes}
-    for rtt in rtts_ms:
-        params = REGIONAL.with_rtt(ms(rtt))
-        for mode in modes:
-            model = _model_for(mode, n, params, 250 * KB)
-            duration = adaptive_duration(mode, n, params, 250 * KB, scale=scale)
-            result = run_experiment(
-                mode=mode,
-                scenario=params,
-                n=n,
-                duration=duration,
-                max_commits=int(150 * scale) or 15,
-                seed=seed,
-            )
-            out[mode].append(
-                (rtt, result.throughput_txs / 1000.0, round(model.pipelining_stretch, 1))
-            )
+    for (rtt, mode, params), result in zip(
+        cells, _runner(jobs, use_cache).run(specs)
+    ):
+        model = _model_for(mode, n, params, 250 * KB)
+        out[mode].append(
+            (rtt, result.throughput_txs / 1000.0, round(model.pipelining_stretch, 1))
+        )
     return out
 
 
@@ -164,26 +186,33 @@ def fig8_latency_bandwidth(
     n: int = 100,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    use_cache: bool = False,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """RTT fixed at 100 ms, bandwidth swept: (bandwidth, p50 latency ms).
 
     Includes the paper's analytical infinite-bandwidth floor as the
     ``"<mode>-infinite"`` entries.
     """
+    cells = [
+        (bw, mode, NetworkParams(f"bw{bw}", rtt=ms(100), bandwidth_bps=mbps(bw)))
+        for bw in bandwidths_mbps
+        for mode in modes
+    ]
+    specs = [
+        ExperimentSpec(
+            mode=mode,
+            scenario=params,
+            n=n,
+            duration=adaptive_duration(mode, n, params, 250 * KB, scale=scale),
+            max_commits=int(100 * scale) or 10,
+            seed=seed,
+        )
+        for bw, mode, params in cells
+    ]
     out: Dict[str, List[Tuple[float, float]]] = {mode: [] for mode in modes}
-    for bw in bandwidths_mbps:
-        params = NetworkParams(f"bw{bw}", rtt=ms(100), bandwidth_bps=mbps(bw))
-        for mode in modes:
-            duration = adaptive_duration(mode, n, params, 250 * KB, scale=scale)
-            result = run_experiment(
-                mode=mode,
-                scenario=params,
-                n=n,
-                duration=duration,
-                max_commits=int(100 * scale) or 10,
-                seed=seed,
-            )
-            out[mode].append((float(bw), result.latency["p50"] * 1000.0))
+    for (bw, mode, _), result in zip(cells, _runner(jobs, use_cache).run(specs)):
+        out[mode].append((float(bw), result.latency["p50"] * 1000.0))
     # Analytical floor: zero sending time, pure RTT + processing.
     import math
 
@@ -203,25 +232,29 @@ def fig9_throughput_latency(
     n: int = 100,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    use_cache: bool = False,
 ) -> Dict[str, List[Tuple[int, float, float]]]:
     """Global scenario: (block_kb, Ktx/s, p50 latency ms) per mode; Kauri's
     stretch follows the model per block size (§7.7)."""
+    cells = [(kb, mode) for kb in block_sizes_kb for mode in modes]
+    specs = [
+        ExperimentSpec(
+            mode=mode,
+            scenario="global",
+            n=n,
+            block_size=kb * KB,
+            duration=adaptive_duration(mode, n, GLOBAL, kb * KB, scale=scale),
+            max_commits=int(150 * scale) or 15,
+            seed=seed,
+        )
+        for kb, mode in cells
+    ]
     out: Dict[str, List[Tuple[int, float, float]]] = {mode: [] for mode in modes}
-    for kb in block_sizes_kb:
-        for mode in modes:
-            duration = adaptive_duration(mode, n, GLOBAL, kb * KB, scale=scale)
-            result = run_experiment(
-                mode=mode,
-                scenario="global",
-                n=n,
-                block_size=kb * KB,
-                duration=duration,
-                max_commits=int(150 * scale) or 15,
-                seed=seed,
-            )
-            out[mode].append(
-                (kb, result.throughput_txs / 1000.0, result.latency["p50"] * 1000.0)
-            )
+    for (kb, mode), result in zip(cells, _runner(jobs, use_cache).run(specs)):
+        out[mode].append(
+            (kb, result.throughput_txs / 1000.0, result.latency["p50"] * 1000.0)
+        )
     return out
 
 
@@ -233,6 +266,8 @@ def fig10_tree_height(
     n: int = 100,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    use_cache: bool = False,
 ) -> Dict[str, List[Tuple[float, float, float, bool]]]:
     """RTT=100 ms: Kauri h=2 (f=10) vs h=3 (f=5) vs HotStuff variants.
     Rows: (bandwidth, Ktx/s, p50 latency ms, cpu_saturated)."""
@@ -242,32 +277,40 @@ def fig10_tree_height(
         ("hotstuff-secp", "hotstuff-secp", 1),
         ("hotstuff-bls", "hotstuff-bls", 1),
     ]
+    cells = [
+        (bw, label, mode, height,
+         NetworkParams(f"bw{bw}", rtt=ms(100), bandwidth_bps=mbps(bw)))
+        for bw in bandwidths_mbps
+        for label, mode, height in systems
+    ]
+    specs = [
+        ExperimentSpec(
+            mode=mode,
+            scenario=params,
+            n=n,
+            height=max(height, 2) if mode_spec(mode).uses_tree else 2,
+            duration=adaptive_duration(
+                mode, n, params, 250 * KB, height=max(height, 1), scale=scale
+            ),
+            max_commits=int(150 * scale) or 15,
+            seed=seed,
+        )
+        for bw, label, mode, height, params in cells
+    ]
     out: Dict[str, List[Tuple[float, float, float, bool]]] = {
         label: [] for label, _, _ in systems
     }
-    for bw in bandwidths_mbps:
-        params = NetworkParams(f"bw{bw}", rtt=ms(100), bandwidth_bps=mbps(bw))
-        for label, mode, height in systems:
-            duration = adaptive_duration(
-                mode, n, params, 250 * KB, height=max(height, 1), scale=scale
+    for (bw, label, _, _, _), result in zip(
+        cells, _runner(jobs, use_cache).run(specs)
+    ):
+        out[label].append(
+            (
+                float(bw),
+                result.throughput_txs / 1000.0,
+                result.latency["p50"] * 1000.0,
+                result.cpu_saturated,
             )
-            result = run_experiment(
-                mode=mode,
-                scenario=params,
-                n=n,
-                height=max(height, 2) if mode_spec(mode).uses_tree else 2,
-                duration=duration,
-                max_commits=int(150 * scale) or 15,
-                seed=seed,
-            )
-            out[label].append(
-                (
-                    float(bw),
-                    result.throughput_txs / 1000.0,
-                    result.latency["p50"] * 1000.0,
-                    result.cpu_saturated,
-                )
-            )
+        )
     return out
 
 
@@ -279,23 +322,23 @@ def fig11_heterogeneous(
     per_cluster: int = 10,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    use_cache: bool = False,
 ) -> List[ExperimentResult]:
     """The ResilientDB deployment: N=60 over six geo clusters."""
     clusters = resilientdb_clusters(per_cluster=per_cluster)
-    results = []
-    for mode in modes:
-        duration = scale * 120.0
-        results.append(
-            run_experiment(
-                mode=mode,
-                scenario=clusters,
-                n=clusters.n,
-                duration=duration,
-                max_commits=int(200 * scale) or 20,
-                seed=seed,
-            )
+    specs = [
+        ExperimentSpec(
+            mode=mode,
+            scenario=clusters,
+            n=clusters.n,
+            duration=scale * 120.0,
+            max_commits=int(200 * scale) or 20,
+            seed=seed,
         )
-    return results
+        for mode in modes
+    ]
+    return _runner(jobs, use_cache).run(specs)
 
 
 # ---------------------------------------------------------------------------

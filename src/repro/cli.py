@@ -187,18 +187,32 @@ def _add_table_parser(subparsers) -> None:
     p = subparsers.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", choices=["1", "2"])
     p.add_argument("--n", type=int, default=100)
+    p.add_argument("--measured", action="store_true",
+                   help="table 2 only: simulate the grid through the sweep "
+                        "engine and report measured vs expected speedups")
+    p.add_argument("--scale", type=float, default=0.3,
+                   help="horizon scale for --measured runs")
+    _add_engine_args(p)
 
 
 def _cmd_table(args) -> int:
     from repro.analysis.tables import (
         TABLE1_HEADERS,
         TABLE2_HEADERS,
+        TABLE2_MEASURED_HEADERS,
         table1_rows,
+        table2_measured_rows,
         table2_rows,
     )
 
     if args.number == "1":
         print(format_table(TABLE1_HEADERS, table1_rows(n=args.n), title="Table 1"))
+    elif args.measured:
+        rows = table2_measured_rows(
+            scale=args.scale, jobs=args.jobs, use_cache=not args.no_cache
+        )
+        print(format_table(TABLE2_MEASURED_HEADERS, rows,
+                           title="Table 2 (measured)"))
     else:
         print(format_table(TABLE2_HEADERS, table2_rows(), title="Table 2"))
     return 0
@@ -207,11 +221,22 @@ def _cmd_table(args) -> int:
 FIG_CHOICES = ["3", "5", "7", "8", "9", "10", "11", "12a", "12b", "12c"]
 
 
+def _add_engine_args(p) -> None:
+    """Sweep-engine knobs shared by grid-shaped commands."""
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel worker processes for independent cells "
+                        "(default: $REPRO_SWEEP_JOBS or 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="always re-simulate; skip the on-disk result cache "
+                        "under benchmarks/results/.cache/")
+
+
 def _add_fig_parser(subparsers) -> None:
     p = subparsers.add_parser("fig", help="regenerate an evaluation figure")
     p.add_argument("figure", choices=FIG_CHOICES)
     p.add_argument("--scale", type=float, default=0.3,
                    help="horizon scale; 1.0 = benchmark depth (default 0.3)")
+    _add_engine_args(p)
 
 
 def _cmd_fig(args) -> int:
@@ -226,6 +251,7 @@ def _cmd_fig(args) -> int:
     )
 
     scale = args.scale
+    engine = {"jobs": args.jobs, "use_cache": not args.no_cache}
     if args.figure == "3":
         from repro.analysis import extract_spans, max_concurrency, render_gantt
         from repro.net.trace import MessageTrace
@@ -242,7 +268,7 @@ def _cmd_fig(args) -> int:
             print(render_gantt(spans[2:], max_rows=8))
         return 0
     if args.figure == "5":
-        data = fig5_stretch_sweep(scale=scale)
+        data = fig5_stretch_sweep(scale=scale, **engine)
         rows = [
             (f"{kb}KB", stretch, ktx)
             for kb, series in sorted(data.items())
@@ -250,7 +276,7 @@ def _cmd_fig(args) -> int:
         ]
         print(format_table(("Block", "Stretch", "Ktx/s"), rows, title="Figure 5"))
     elif args.figure == "7":
-        data = fig7_rtt_sweep(scale=scale)
+        data = fig7_rtt_sweep(scale=scale, **engine)
         rows = [
             (mode, rtt, ktx, stretch)
             for mode, series in data.items()
@@ -259,7 +285,7 @@ def _cmd_fig(args) -> int:
         print(format_table(("System", "RTT (ms)", "Ktx/s", "Stretch"), rows,
                            title="Figure 7"))
     elif args.figure == "8":
-        data = fig8_latency_bandwidth(scale=scale)
+        data = fig8_latency_bandwidth(scale=scale, **engine)
         rows = [
             (mode, bw, lat)
             for mode, series in sorted(data.items())
@@ -268,7 +294,7 @@ def _cmd_fig(args) -> int:
         print(format_table(("System", "Mb/s", "p50 latency (ms)"), rows,
                            title="Figure 8"))
     elif args.figure == "9":
-        data = fig9_throughput_latency(scale=scale)
+        data = fig9_throughput_latency(scale=scale, **engine)
         rows = [
             (mode, kb, ktx, lat)
             for mode, series in data.items()
@@ -277,7 +303,7 @@ def _cmd_fig(args) -> int:
         print(format_table(("System", "Block (KB)", "Ktx/s", "p50 lat (ms)"),
                            rows, title="Figure 9"))
     elif args.figure == "10":
-        data = fig10_tree_height(scale=scale)
+        data = fig10_tree_height(scale=scale, **engine)
         rows = [
             (label, bw, ktx, lat, "SAT" if sat else "")
             for label, series in data.items()
@@ -286,7 +312,7 @@ def _cmd_fig(args) -> int:
         print(format_table(("System", "Mb/s", "Ktx/s", "p50 lat (ms)", "CPU"),
                            rows, title="Figure 10"))
     elif args.figure == "11":
-        results = fig11_heterogeneous(scale=scale)
+        results = fig11_heterogeneous(scale=scale, **engine)
         rows = [
             (r.mode, round(r.throughput_txs / 1000, 2),
              round(r.latency["p50"] * 1000, 0))
@@ -326,33 +352,37 @@ def _add_sweep_parser(subparsers) -> None:
     p.add_argument("--max-commits", type=int, default=60)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true")
+    _add_engine_args(p)
 
 
 def _cmd_sweep(args) -> int:
     from repro.analysis.figures import adaptive_duration
-    from repro.runtime.experiment import run_experiment
+    from repro.runtime.sweep import ExperimentSpec, SweepRunner
 
     params = SCENARIOS[args.scenario]
     modes = [m.strip() for m in args.modes.split(",") if m.strip()]
     sizes = [int(s) for s in args.sizes.split(",")]
     blocks = [int(b) for b in args.block_sizes_kb.split(",")]
-    results = []
-    for n in sizes:
-        for mode in modes:
-            for block_kb in blocks:
-                duration = args.duration
-                if duration is None:
-                    duration = adaptive_duration(mode, n, params, block_kb * KB)
-                result = run_experiment(
-                    mode=mode,
-                    scenario=args.scenario,
-                    n=n,
-                    block_size=block_kb * KB,
-                    duration=duration,
-                    max_commits=args.max_commits,
-                    seed=args.seed,
-                )
-                results.append(result)
+    specs = [
+        ExperimentSpec(
+            mode=mode,
+            scenario=args.scenario,
+            n=n,
+            block_size=block_kb * KB,
+            duration=(
+                args.duration
+                if args.duration is not None
+                else adaptive_duration(mode, n, params, block_kb * KB)
+            ),
+            max_commits=args.max_commits,
+            seed=args.seed,
+        )
+        for n in sizes
+        for mode in modes
+        for block_kb in blocks
+    ]
+    runner = SweepRunner(jobs=args.jobs, cache=not args.no_cache)
+    results = runner.run(specs)
     if args.json:
         print(json.dumps(
             [dataclasses.asdict(r) for r in results], indent=2, default=str
@@ -377,6 +407,9 @@ def _cmd_sweep(args) -> int:
             title="Sweep",
         )
     )
+    stats = runner.last_stats
+    print(f"[{stats.backend} x{stats.jobs}: {stats.executed} simulated, "
+          f"{stats.cache_hits} cached]")
     return 0
 
 

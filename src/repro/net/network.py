@@ -43,19 +43,34 @@ class Endpoint:
 
     # ------------------------------------------------------------------
     def deliver(self, msg: Message) -> None:
-        """Fabric hook: hand ``msg`` to a blocked receiver or queue it."""
+        """Fabric hook: hand ``msg`` to a blocked receiver or queue it.
+
+        Fired-signal entries (waiters whose timeout or cancellation already
+        resolved but whose owning coroutine has not yet run its ``finally``)
+        are pruned during the scan, so hot tags under deep pipelining don't
+        accumulate dead waiters between deliveries.
+        """
         self.messages_delivered += 1
         self.bytes_delivered += msg.size
         waiters = self._waiters.get(msg.tag)
+        consumer = None
         if waiters:
+            live = []
             for entry in waiters:
                 match, signal = entry
                 if signal.fired:
-                    continue
-                if match is None or match(msg):
-                    waiters.remove(entry)
-                    signal.fire(msg)
-                    return
+                    continue  # dead waiter: prune instead of skipping
+                if consumer is None and (match is None or match(msg)):
+                    consumer = signal
+                    continue  # consumed: drop the entry now
+                live.append(entry)
+            if live:
+                waiters[:] = live
+            else:
+                del self._waiters[msg.tag]
+            if consumer is not None:
+                consumer.fire(msg)
+                return
         self._inbox.setdefault(msg.tag, deque()).append(msg)
 
     def try_receive(

@@ -18,6 +18,13 @@ from repro.runtime.clients import (
 )
 from repro.runtime.cluster import Cluster, build_cluster_tree
 from repro.runtime.experiment import ExperimentResult, run_experiment
+from repro.runtime.sweep import (
+    ExperimentSpec,
+    ResultCache,
+    SweepRunner,
+    SweepStats,
+    run_specs,
+)
 
 __all__ = [
     "Metrics",
@@ -31,4 +38,9 @@ __all__ = [
     "build_cluster_tree",
     "ExperimentResult",
     "run_experiment",
+    "ExperimentSpec",
+    "ResultCache",
+    "SweepRunner",
+    "SweepStats",
+    "run_specs",
 ]

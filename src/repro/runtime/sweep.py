@@ -1,0 +1,348 @@
+"""Declarative sweep engine: experiment grids as values, scheduled by a runner.
+
+Every paper artifact (Figs. 5-12, Tables 1-2, the ablations) is a grid of
+independent deterministic simulations. This module makes one grid cell a
+first-class value -- :class:`ExperimentSpec`, a frozen, hashable mirror of
+the :func:`~repro.runtime.experiment.run_experiment` signature -- and
+provides :class:`SweepRunner`, which schedules a list of specs across
+pluggable backends:
+
+- ``serial``  -- run cells in order in the current process;
+- ``process`` -- fan cells out over a ``ProcessPoolExecutor``.
+
+Results come back **in spec order** and are byte-identical across backends:
+each worker builds its own :class:`~repro.sim.engine.Simulator` from the
+spec's seed, so determinism is preserved by construction and paralleling a
+sweep can never change its numbers.
+
+An optional on-disk cache (default ``benchmarks/results/.cache/``) keyed by
+a *stable* spec hash (SHA-256 of the canonical spec encoding -- not
+Python's salted ``hash()``) lets a re-run of a figure skip completed cells.
+Invalidation rule: the key covers every spec field plus ``CACHE_SCHEMA``;
+bump :data:`CACHE_SCHEMA` (or delete the cache directory) whenever the
+simulator's behaviour changes in a way that alters results for an unchanged
+spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.config import ClusterParams, NetworkParams, ProtocolConfig
+from repro.errors import ConfigError
+from repro.runtime.experiment import ExperimentResult, run_experiment
+
+#: Bump whenever simulation semantics change such that an unchanged spec
+#: would produce different numbers; stale cache entries are then ignored.
+CACHE_SCHEMA = 1
+
+#: Environment override for the default cache directory.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
+
+#: Environment default for the worker count when ``jobs`` is not given.
+JOBS_ENV = "REPRO_SWEEP_JOBS"
+
+Scenario = Union[str, NetworkParams, ClusterParams]
+
+
+def _encode_scenario(scenario: Scenario) -> Any:
+    """Canonical, JSON-able encoding of every accepted scenario form."""
+    if isinstance(scenario, str):
+        return ["name", scenario]
+    if isinstance(scenario, NetworkParams):
+        return ["params", scenario.name, scenario.rtt, scenario.bandwidth_bps]
+    if isinstance(scenario, ClusterParams):
+        return [
+            "clusters",
+            scenario.name,
+            list(scenario.cluster_sizes),
+            _encode_scenario(scenario.intra),
+            sorted(
+                (list(pair), _encode_scenario(params))
+                for pair, params in scenario.inter.items()
+            ),
+        ]
+    raise ConfigError(f"unsupported scenario type: {type(scenario).__name__}")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One grid cell: the full ``run_experiment`` signature as a value.
+
+    Frozen and hashable (``crashes`` is normalised to a tuple of tuples),
+    so specs can key dictionaries, deduplicate inside grids, and address
+    the on-disk result cache. :meth:`run` executes the cell.
+    """
+
+    mode: str = "kauri"
+    scenario: Scenario = "global"
+    n: Optional[int] = 100
+    block_size: Optional[int] = None
+    stretch: Optional[float] = None
+    height: int = 2
+    root_fanout: Optional[int] = None
+    duration: float = 60.0
+    warmup_fraction: float = 0.25
+    max_commits: Optional[int] = None
+    seed: int = 0
+    config: Optional[ProtocolConfig] = None
+    crashes: Tuple[Tuple[int, float], ...] = ()
+    uplink_lanes: int = 1
+    saturation_threshold: float = 0.95
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "crashes",
+            tuple((int(node), float(when)) for node, when in self.crashes),
+        )
+
+    # ``scenario`` may be a ClusterParams (carries a dict), so the
+    # field-generated hash is unusable; hash the stable key instead.
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    # ------------------------------------------------------------------
+    def canonical(self) -> Dict[str, Any]:
+        """JSON-able encoding covering every field; the cache-key input."""
+        config = (
+            None
+            if self.config is None
+            else sorted(dataclasses.asdict(self.config).items())
+        )
+        return {
+            "schema": CACHE_SCHEMA,
+            "mode": self.mode,
+            "scenario": _encode_scenario(self.scenario),
+            "n": self.n,
+            "block_size": self.block_size,
+            "stretch": self.stretch,
+            "height": self.height,
+            "root_fanout": self.root_fanout,
+            "duration": self.duration,
+            "warmup_fraction": self.warmup_fraction,
+            "max_commits": self.max_commits,
+            "seed": self.seed,
+            "config": config,
+            "crashes": [list(c) for c in self.crashes],
+            "uplink_lanes": self.uplink_lanes,
+            "saturation_threshold": self.saturation_threshold,
+        }
+
+    def key(self) -> str:
+        """Stable content hash (identical across processes and sessions)."""
+        blob = json.dumps(self.canonical(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Execute this cell in the current process."""
+        return run_experiment(
+            mode=self.mode,
+            scenario=self.scenario,
+            n=self.n,
+            block_size=self.block_size,
+            stretch=self.stretch,
+            height=self.height,
+            root_fanout=self.root_fanout,
+            duration=self.duration,
+            warmup_fraction=self.warmup_fraction,
+            max_commits=self.max_commits,
+            seed=self.seed,
+            config=self.config,
+            crashes=self.crashes,
+            uplink_lanes=self.uplink_lanes,
+            saturation_threshold=self.saturation_threshold,
+        )
+
+
+def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
+    """Module-level worker entry point (picklable for the process pool)."""
+    return spec.run()
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+def default_cache_dir() -> Path:
+    """``$REPRO_SWEEP_CACHE_DIR`` or ``<repo>/benchmarks/results/.cache``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    repo_root = Path(__file__).resolve().parents[3]
+    return repo_root / "benchmarks" / "results" / ".cache"
+
+
+class ResultCache:
+    """Directory of ``<spec-key>.json`` files, one per completed cell.
+
+    Corrupt, unreadable, or schema-mismatched entries count as misses;
+    writes are atomic (temp file + rename) so interrupted sweeps never
+    leave half-written entries behind.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        return self.root / f"{spec.key()}.json"
+
+    def get(self, spec: ExperimentSpec) -> Optional[ExperimentResult]:
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != CACHE_SCHEMA:
+                return None
+            return ExperimentResult(**payload["result"])
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+
+    def put(self, spec: ExperimentSpec, result: ExperimentResult) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "spec": spec.canonical(),
+            "result": dataclasses.asdict(result),
+        }
+        path = self.path_for(spec)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(path)
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+@dataclass
+class SweepStats:
+    """What the last :meth:`SweepRunner.run` actually did."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    backend: str = "serial"
+    jobs: int = 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """``jobs`` if given, else ``$REPRO_SWEEP_JOBS``, else 1."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    raw = os.environ.get(JOBS_ENV, "1") or "1"
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ConfigError(
+            f"${JOBS_ENV} must be an integer, got {raw!r}"
+        ) from None
+
+
+class SweepRunner:
+    """Schedule a list of :class:`ExperimentSpec` across a backend.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; ``None`` reads ``$REPRO_SWEEP_JOBS`` (default 1).
+    backend:
+        ``"serial"`` or ``"process"``; ``None`` picks ``"process"`` when
+        ``jobs > 1`` and ``"serial"`` otherwise.
+    cache:
+        Enable the on-disk result cache.
+    cache_dir:
+        Cache location; defaults to :func:`default_cache_dir`.
+    """
+
+    BACKENDS = ("serial", "process")
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        backend: Optional[str] = None,
+        cache: bool = False,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        if backend is None:
+            backend = "process" if self.jobs > 1 else "serial"
+        if backend not in self.BACKENDS:
+            raise ConfigError(
+                f"unknown sweep backend {backend!r}; expected one of {self.BACKENDS}"
+            )
+        self.backend = backend
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if cache else None
+        )
+        self.last_stats = SweepStats(backend=self.backend, jobs=self.jobs)
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Iterable[ExperimentSpec]) -> List[ExperimentResult]:
+        """Run every spec; results align index-for-index with the input.
+
+        Identical specs inside one grid are simulated once (determinism
+        makes duplicates redundant); cached cells are never re-simulated.
+        """
+        ordered: List[ExperimentSpec] = list(specs)
+        results: List[Optional[ExperimentResult]] = [None] * len(ordered)
+        stats = SweepStats(
+            total=len(ordered), backend=self.backend, jobs=self.jobs
+        )
+
+        # Deduplicate by stable key, preserving first-seen order.
+        slots: Dict[str, List[int]] = {}
+        unique: List[ExperimentSpec] = []
+        for index, spec in enumerate(ordered):
+            key = spec.key()
+            if key not in slots:
+                slots[key] = []
+                unique.append(spec)
+            slots[key].append(index)
+
+        pending: List[ExperimentSpec] = []
+        for spec in unique:
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                stats.cache_hits += 1
+                for index in slots[spec.key()]:
+                    results[index] = cached
+            else:
+                pending.append(spec)
+
+        for spec, result in zip(pending, self._execute(pending)):
+            stats.executed += 1
+            if self.cache is not None:
+                self.cache.put(spec, result)
+            for index in slots[spec.key()]:
+                results[index] = result
+
+        self.last_stats = stats
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> Iterable[ExperimentResult]:
+        if not specs:
+            return []
+        if self.backend == "serial" or len(specs) == 1 or self.jobs == 1:
+            return [spec.run() for spec in specs]
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_spec, specs))
+
+
+def run_specs(
+    specs: Iterable[ExperimentSpec],
+    jobs: Optional[int] = None,
+    cache: bool = False,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> List[ExperimentResult]:
+    """One-shot convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(jobs=jobs, cache=cache, cache_dir=cache_dir).run(specs)

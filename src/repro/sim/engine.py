@@ -21,24 +21,39 @@ class EventHandle:
     """Handle for a scheduled callback; supports O(1) cancellation.
 
     Cancellation is lazy: the heap entry stays in place and is skipped when
-    popped. ``cancelled`` and ``fired`` are exposed for introspection.
+    popped. ``cancelled`` and ``fired`` are exposed for introspection. The
+    owning simulator is notified on cancellation so it can keep its live
+    pending-event counter exact and compact the heap when cancelled entries
+    dominate it.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn: Optional[Callable[..., None]] = fn
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running; idempotent, no-op if fired."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
         self.fn = None  # break reference cycles early
         self.args = ()
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -74,6 +89,8 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._pending = 0  # live (non-cancelled, non-fired) events
+        self._cancelled_in_heap = 0  # lazily-cancelled entries awaiting pop
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -91,9 +108,33 @@ class Simulator:
                 f"cannot schedule into the past (time={time}, now={self.now})"
             )
         self._seq += 1
-        handle = EventHandle(time, self._seq, fn, args)
+        handle = EventHandle(time, self._seq, fn, args, sim=self)
         heapq.heappush(self._heap, handle)
+        self._pending += 1
         return handle
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook for :meth:`EventHandle.cancel`.
+
+        Keeps :attr:`pending_events` O(1) and compacts the heap when
+        cancelled entries exceed half of it -- lazy-cancellation hygiene for
+        long pacemaker-heavy runs, where timers are overwhelmingly cancelled
+        rather than fired.
+        """
+        self._pending -= 1
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap > len(self._heap) // 2
+            and len(self._heap) >= 64
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (pop order is unchanged:
+        handles are strictly ordered by (time, seq))."""
+        self._heap = [h for h in self._heap if not h.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -103,11 +144,13 @@ class Simulator:
         while self._heap:
             handle = heapq.heappop(self._heap)
             if handle.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             if handle.time < self.now:
                 raise SimulationError("event heap went backwards in time")
             self.now = handle.time
             handle.fired = True
+            self._pending -= 1
             fn, args = handle.fn, handle.args
             handle.fn, handle.args = None, ()
             self._events_processed += 1
@@ -136,6 +179,7 @@ class Simulator:
                 nxt = self._heap[0]
                 if nxt.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_in_heap -= 1
                     continue
                 if until is not None and nxt.time > until:
                     break
@@ -157,8 +201,9 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of non-cancelled events still scheduled."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of non-cancelled events still scheduled (O(1): maintained
+        as a live counter instead of scanning the heap)."""
+        return self._pending
 
     @property
     def events_processed(self) -> int:
