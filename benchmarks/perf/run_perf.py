@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Standalone runner for the hot-path microbenchmarks.
+
+Thin wrapper over ``repro perf`` for use outside the CLI (editors,
+profilers, cron). Not a pytest file on purpose: the benches measure wall
+clock and must not run inside the tier-1 suite.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] \
+        [--out BENCH_core.json] [--check BENCH_core.json]
+
+Profiling one bench (the intended workflow when chasing a regression)::
+
+    PYTHONPATH=src python -m cProfile -s cumulative \
+        benchmarks/perf/run_perf.py --quick 2>&1 | head -40
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["perf", *sys.argv[1:]]))

@@ -7,6 +7,7 @@ Commands:
 - ``tune``   -- automatic configuration search (§8 future work).
 - ``table``  -- regenerate Table 1 or Table 2.
 - ``fig``    -- regenerate an evaluation figure's series (fig5..fig12).
+- ``perf``   -- run the hot-path microbenchmarks (BENCH_core.json).
 
 Examples::
 
@@ -15,6 +16,7 @@ Examples::
     python -m repro tune --n 400 --scenario global --objective throughput
     python -m repro table 2
     python -m repro fig 12a
+    python -m repro perf --quick --check BENCH_core.json
 """
 
 from __future__ import annotations
@@ -413,6 +415,56 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _add_perf_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "perf", help="run the hot-path microbenchmarks"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="shrunken workloads for CI smoke runs")
+    p.add_argument("--out", default="BENCH_core.json",
+                   help="where to write results (default: BENCH_core.json)")
+    p.add_argument("--check", default=None, metavar="BASELINE",
+                   help="compare against a committed BENCH json; exit 1 on "
+                        "a regression beyond --tolerance")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="allowed fractional regression for --check "
+                        "(default 0.30; wall-clock benches are noisy)")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_perf(args) -> int:
+    from repro.perf import (
+        compare_to_baseline,
+        load_results,
+        run_benches,
+        write_results,
+    )
+
+    results = run_benches(quick=args.quick, seed=args.seed)
+    rows = [
+        (name, f"{r.value:,.1f}", r.unit, r.n, r.seed)
+        for name, r in sorted(results.items())
+    ]
+    print(format_table(
+        ("Bench", "Value", "Unit", "N", "Seed"),
+        rows,
+        title="Hot-path microbenchmarks" + (" (quick)" if args.quick else ""),
+    ))
+    write_results(results, args.out)
+    print(f"wrote {args.out}")
+    if args.check is not None:
+        baseline = load_results(args.check)
+        problems = compare_to_baseline(
+            results, baseline, tolerance=args.tolerance
+        )
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"no regression beyond {args.tolerance:.0%} vs {args.check}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -428,6 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_table_parser(subparsers)
     _add_fig_parser(subparsers)
     _add_sweep_parser(subparsers)
+    _add_perf_parser(subparsers)
     return parser
 
 
@@ -441,6 +494,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table": _cmd_table,
         "fig": _cmd_fig,
         "sweep": _cmd_sweep,
+        "perf": _cmd_perf,
     }
     try:
         return handlers[args.command](args)

@@ -8,18 +8,53 @@ additionally carries per-signer tags so that ⊕ is idempotent under
 arbitrary overlaps and forged tags are detectable -- exactly the behaviour
 of real BLS multisignatures with rogue-key protection (§2 cites the
 proof-of-possession requirement).
+
+Performance model of ⊕ (the simulator's hottest crypto path): collections
+are immutable, so ``combine`` is copy-on-write. Per-value signer maps are
+shared by reference between parent and child collections whenever one side
+already holds the union; only genuinely mutated slots are copied, and the
+copy duplicates the *larger* side C-level while the Python merge loop runs
+over the *smaller* side. Folding a fresh share into a growing aggregate --
+the Algorithm 3 pattern -- therefore does O(1) Python-level work per ⊕
+instead of O(total shares), and validity sets computed by an ancestor are
+inherited instead of re-verified (see :data:`MERGE_STATS` and
+``tests/test_perf_hotpaths.py``). The invariant that makes sharing safe:
+``_byvalue`` and its slot dicts are never mutated after construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Mapping, Tuple
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
 
 from repro.crypto.collection import Collection
 from repro.crypto.costs import CryptoCostModel, bitmap_size
 from repro.crypto.keys import KeyPair, Pki, canonical_digest
 from repro.crypto.signature import SignatureScheme
 from repro.errors import CryptoError
+
+
+class MergeStats:
+    """Counters of Python-level ⊕ work; reset/read by perf tests.
+
+    ``entries_examined`` counts signer entries walked by the Python merge
+    loop (always the smaller side of a slot merge), ``slot_copies`` the
+    per-value signer maps actually duplicated, ``slots_shared`` the maps
+    passed between collections by reference.
+    """
+
+    __slots__ = ("entries_examined", "slot_copies", "slots_shared")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.entries_examined = 0
+        self.slot_copies = 0
+        self.slots_shared = 0
+
+
+MERGE_STATS = MergeStats()
 
 
 @dataclass(frozen=True)
@@ -34,7 +69,10 @@ class BlsShare:
 class BlsCollection(Collection):
     """Per-value aggregates: value -> {signer: tag}; ⊕ merges signer maps."""
 
-    __slots__ = ("_pki", "_costs", "_byvalue", "_valid_cache")
+    __slots__ = (
+        "_pki", "_costs", "_byvalue", "_valid_cache", "_frozen_cache",
+        "_hash_cache", "_card_cache",
+    )
 
     def __init__(
         self,
@@ -44,10 +82,38 @@ class BlsCollection(Collection):
     ):
         self._pki = pki
         self._costs = costs
+        # The public constructor defensively copies; internal construction
+        # goes through _adopt, which shares maps copy-on-write.
         self._byvalue: Dict[Any, Dict[int, bytes]] = {
             value: dict(signers) for value, signers in (byvalue or {}).items()
         }
         self._valid_cache: Dict[Any, FrozenSet[int]] = {}
+        self._frozen_cache: Optional[FrozenSet[Tuple[Any, int, bytes]]] = None
+        self._hash_cache: Optional[int] = None
+        self._card_cache: Optional[int] = None
+
+    @classmethod
+    def _adopt(
+        cls,
+        pki: Pki,
+        costs: CryptoCostModel,
+        byvalue: Dict[Any, Dict[int, bytes]],
+        valid_cache: Optional[Dict[Any, FrozenSet[int]]] = None,
+    ) -> "BlsCollection":
+        """Build a collection taking ownership of ``byvalue`` uncopied.
+
+        Callers must guarantee the maps are never mutated afterwards --
+        they may be shared with other collections.
+        """
+        self = cls.__new__(cls)
+        self._pki = pki
+        self._costs = costs
+        self._byvalue = byvalue
+        self._valid_cache = valid_cache if valid_cache is not None else {}
+        self._frozen_cache = None
+        self._hash_cache = None
+        self._card_cache = None
+        return self
 
     # ------------------------------------------------------------------
     def combine(self, other: Collection) -> "BlsCollection":
@@ -57,22 +123,89 @@ class BlsCollection(Collection):
             )
         if other._pki is not self._pki:
             raise CryptoError("cannot combine collections from different PKIs")
-        merged: Dict[Any, Dict[int, bytes]] = {
-            value: dict(signers) for value, signers in self._byvalue.items()
-        }
-        for value, signers in other._byvalue.items():
-            slot = merged.setdefault(value, {})
-            for signer, tag in signers.items():
+        # ⊕ identities: nothing to merge, nothing to copy.
+        if other is self or not other._byvalue:
+            return self
+        if not self._byvalue and other._costs is self._costs:
+            return other
+        stats = MERGE_STATS
+        pki = self._pki
+        theirs_cache = other._valid_cache
+        merged = dict(self._byvalue)  # shallow: slot dicts shared until written
+        valid_cache = dict(self._valid_cache) if self._valid_cache else {}
+        changed = False
+        for value, theirs in other._byvalue.items():
+            ours = merged.get(value)
+            if ours is None:
+                merged[value] = theirs  # share the whole slot by reference
+                stats.slots_shared += 1
+                cached = theirs_cache.get(value)
+                if cached is not None:
+                    valid_cache[value] = cached
+                else:
+                    valid_cache.pop(value, None)
+                changed = True
+                continue
+            if ours is theirs:
+                stats.slots_shared += 1
+                continue
+            # Walk the smaller side; the larger is duplicated C-level only
+            # if the union actually differs from it.
+            small, big = (
+                (ours, theirs) if len(ours) <= len(theirs) else (theirs, ours)
+            )
+            stats.entries_examined += len(small)
+            delta = None
+            for signer, tag in small.items():
+                btag = big.get(signer)
+                if btag is None or btag != tag:
+                    if delta is None:
+                        delta = []
+                    delta.append((signer, tag, btag))
+            if delta is None:
+                # small ⊆ big with identical tags: big already is the union.
+                stats.slots_shared += 1
+                if big is not ours:
+                    merged[value] = big
+                    cached = theirs_cache.get(value)
+                    if cached is not None:
+                        valid_cache[value] = cached
+                    else:
+                        valid_cache.pop(value, None)
+                    changed = True
+                continue
+            slot = dict(big)
+            stats.slot_copies += 1
+            digest = None
+            small_is_theirs = small is theirs
+            for signer, tag, btag in delta:
+                if btag is None:
+                    slot[signer] = tag
+                    continue
                 # Conflicting tags for the same (signer, value): keep the
                 # valid one if any; a bad tag must never shadow a good one.
-                existing = slot.get(signer)
-                if existing is None or existing == tag:
-                    slot[signer] = tag
-                else:
+                if digest is None:
                     digest = canonical_digest(value)
-                    if self._pki.verify_mac(signer, digest, tag):
-                        slot[signer] = tag
-        return BlsCollection(self._pki, self._costs, merged)
+                theirs_tag = tag if small_is_theirs else btag
+                ours_tag = btag if small_is_theirs else tag
+                slot[signer] = (
+                    theirs_tag
+                    if pki.verify_mac(signer, digest, theirs_tag)
+                    else ours_tag
+                )
+            merged[value] = slot
+            # Validity of the union is the union of validities: the merge
+            # above keeps a valid tag whenever either side had one.
+            ours_valid = self._valid_cache.get(value)
+            theirs_valid = theirs_cache.get(value)
+            if ours_valid is not None and theirs_valid is not None:
+                valid_cache[value] = ours_valid | theirs_valid
+            else:
+                valid_cache.pop(value, None)
+            changed = True
+        if not changed:
+            return self  # other ⊆ self: ⊕ is idempotent
+        return BlsCollection._adopt(self._pki, self._costs, merged, valid_cache)
 
     def has(self, value: Any, threshold: int) -> bool:
         return len(self.signers_for(value)) >= threshold
@@ -92,7 +225,11 @@ class BlsCollection(Collection):
         return valid
 
     def cardinality(self) -> int:
-        return sum(len(signers) for signers in self._byvalue.values())
+        card = self._card_cache
+        if card is None:
+            card = sum(len(signers) for signers in self._byvalue.values())
+            self._card_cache = card
+        return card
 
     def values(self) -> FrozenSet[Any]:
         return frozenset(self._byvalue)
@@ -104,17 +241,35 @@ class BlsCollection(Collection):
 
     # ------------------------------------------------------------------
     def _frozen(self) -> FrozenSet[Tuple[Any, int, bytes]]:
-        return frozenset(
-            (value, signer, tag)
-            for value, signers in self._byvalue.items()
-            for signer, tag in signers.items()
-        )
+        frozen = self._frozen_cache
+        if frozen is None:
+            frozen = frozenset(
+                (value, signer, tag)
+                for value, signers in self._byvalue.items()
+                for signer, tag in signers.items()
+            )
+            self._frozen_cache = frozen
+        return frozen
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, BlsCollection) and self._frozen() == other._frozen()
+        if self is other:
+            return True
+        if not isinstance(other, BlsCollection):
+            return False
+        if self._byvalue is other._byvalue:
+            return True
+        h1, h2 = self._hash_cache, other._hash_cache
+        if h1 is not None and h2 is not None and h1 != h2:
+            return False
+        # Nested dict equality is exactly same-(value, signer, tag) multiset.
+        return self._byvalue == other._byvalue
 
     def __hash__(self) -> int:
-        return hash(self._frozen())
+        h = self._hash_cache
+        if h is None:
+            h = hash(self._frozen())
+            self._hash_cache = h
+        return h
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BlsCollection({self.cardinality()} shares, {len(self._byvalue)} values)"
@@ -125,7 +280,15 @@ class BlsScheme(SignatureScheme):
 
     def new(self, keypair: KeyPair, value: Any) -> BlsCollection:
         tag = keypair.mac(canonical_digest(value))
-        return BlsCollection(self.pki, self.costs, {value: {keypair.node_id: tag}})
+        # A tag we just produced with the signer's own key is valid by
+        # construction: seed the validity memo so folding fresh shares
+        # (Algorithm 3) chains cached unions instead of re-verifying.
+        return BlsCollection._adopt(
+            self.pki,
+            self.costs,
+            {value: {keypair.node_id: tag}},
+            valid_cache={value: frozenset((keypair.node_id,))},
+        )
 
     def empty(self) -> BlsCollection:
-        return BlsCollection(self.pki, self.costs)
+        return BlsCollection._adopt(self.pki, self.costs, {})

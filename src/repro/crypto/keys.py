@@ -17,45 +17,91 @@ from typing import Any, Dict
 from repro.errors import CryptoError
 
 
+#: Digest memo keyed on the canonical ``repr`` string, so values that are
+#: ``==`` but repr differently (``1`` vs ``1.0``) can never share an entry.
+#: Entries are immutable facts (sha256 of the key), so the cache is never
+#: invalidated; inserts simply stop at the cap to bound memory on very
+#: long sweeps.
+_DIGEST_CACHE: Dict[str, bytes] = {}
+_DIGEST_CACHE_CAP = 1 << 17
+
+
 def canonical_digest(value: Any) -> bytes:
     """Deterministic 32-byte digest of a signable value.
 
     Values signed by the protocol are hashable tuples of primitives
     (view numbers, phase names, block hashes); ``repr`` is stable for
-    those.
+    those. Digests are memoised per repr: collections re-derive the
+    digest of the same value many times per aggregation wave (§3.3.2).
     """
-    return hashlib.sha256(repr(value).encode("utf-8")).digest()
+    rep = repr(value)
+    digest = _DIGEST_CACHE.get(rep)
+    if digest is None:
+        digest = hashlib.sha256(rep.encode("utf-8")).digest()
+        if len(_DIGEST_CACHE) < _DIGEST_CACHE_CAP:
+            _DIGEST_CACHE[rep] = digest
+    return digest
 
 
 class KeyPair:
-    """A process's signing key. Possession of the object *is* the secret."""
+    """A process's signing key. Possession of the object *is* the secret.
 
-    __slots__ = ("node_id", "_secret")
+    PKI-issued keypairs share the PKI's expected-MAC memo: signing seeds
+    the same ``(signer, digest)`` entry verification reads, so an
+    honestly-signed tag is never re-derived by any verifier. Simulated
+    crypto CPU time is charged via the cost model, so this wall-clock
+    shortcut cannot affect simulation results.
+    """
 
-    def __init__(self, node_id: int, secret: bytes):
+    __slots__ = ("node_id", "_secret", "_mac_cache")
+
+    def __init__(self, node_id: int, secret: bytes, mac_cache: Dict = None):
         self.node_id = node_id
         self._secret = secret
+        self._mac_cache = mac_cache
 
     def mac(self, digest: bytes) -> bytes:
         """Keyed MAC over ``digest`` -- the simulated signature tag."""
-        return hashlib.sha256(self._secret + digest).digest()
+        cache = self._mac_cache
+        if cache is None:
+            return hashlib.sha256(self._secret + digest).digest()
+        key = (self.node_id, digest)
+        mac = cache.get(key)
+        if mac is None:
+            mac = hashlib.sha256(self._secret + digest).digest()
+            if len(cache) >= Pki._MAC_CACHE_CAP:
+                cache.clear()
+            cache[key] = mac
+        return mac
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"KeyPair(node={self.node_id})"
 
 
 class Pki:
-    """Key registry and verification oracle for one deployment."""
+    """Key registry and verification oracle for one deployment.
+
+    Expected MACs are memoised per ``(signer, digest)``: keys are fixed
+    for the execution (§2), so an entry is an immutable fact and is never
+    invalidated. A tag verified once by any collection is therefore never
+    re-derived by descendant collections during tree aggregation -- the
+    memo turns repeat verifications into one dict lookup. The cache is
+    cleared wholesale at a size cap to bound memory; it refills within
+    one aggregation wave.
+    """
+
+    _MAC_CACHE_CAP = 1 << 20
 
     def __init__(self, n: int, seed: int = 0):
         if n < 1:
             raise CryptoError(f"PKI needs at least one process, got {n}")
         self.n = n
         self._keys: Dict[int, KeyPair] = {}
+        self._mac_cache: Dict[tuple, bytes] = {}
         root = hashlib.sha256(f"pki-seed-{seed}".encode()).digest()
         for node_id in range(n):
             secret = hashlib.sha256(root + node_id.to_bytes(8, "big")).digest()
-            self._keys[node_id] = KeyPair(node_id, secret)
+            self._keys[node_id] = KeyPair(node_id, secret, self._mac_cache)
 
     def keypair(self, node_id: int) -> KeyPair:
         """Hand ``node_id`` its own keypair (deployment-time distribution)."""
@@ -66,7 +112,14 @@ class Pki:
 
     def expected_mac(self, node_id: int, digest: bytes) -> bytes:
         """Oracle: the MAC ``node_id`` would produce over ``digest``."""
-        return self.keypair(node_id).mac(digest)
+        key = (node_id, digest)
+        mac = self._mac_cache.get(key)
+        if mac is None:
+            mac = self.keypair(node_id).mac(digest)
+            if len(self._mac_cache) >= self._MAC_CACHE_CAP:
+                self._mac_cache.clear()
+            self._mac_cache[key] = mac
+        return mac
 
     def verify_mac(self, node_id: int, digest: bytes, mac: bytes) -> bool:
         """Check that ``mac`` is ``node_id``'s signature over ``digest``."""

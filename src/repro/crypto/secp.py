@@ -31,9 +31,17 @@ class SecpSignature:
 
 
 class SecpCollection(Collection):
-    """A set of individual signatures; ⊕ is set union."""
+    """A set of individual signatures; ⊕ is set union.
 
-    __slots__ = ("_pki", "_costs", "_entries", "_valid_cache")
+    Quorum verification is the hot path (O(N) individual checks, §1):
+    ``signers_for`` scans a lazily-built per-value index instead of the
+    whole signature set, digests are memoised in
+    :func:`~repro.crypto.keys.canonical_digest`, and expected MACs are
+    memoised at the :class:`~repro.crypto.keys.Pki`, so re-verifying a
+    quorum certificate costs dict lookups, not hashes.
+    """
+
+    __slots__ = ("_pki", "_costs", "_entries", "_valid_cache", "_index")
 
     def __init__(
         self,
@@ -45,6 +53,7 @@ class SecpCollection(Collection):
         self._costs = costs
         self._entries = entries
         self._valid_cache: Dict[Any, FrozenSet[int]] = {}
+        self._index: Dict[Any, list] = None
 
     # ------------------------------------------------------------------
     def combine(self, other: Collection) -> "SecpCollection":
@@ -54,20 +63,34 @@ class SecpCollection(Collection):
             )
         if other._pki is not self._pki:
             raise CryptoError("cannot combine collections from different PKIs")
+        if other is self or not other._entries:
+            return self
+        if not self._entries and other._costs is self._costs:
+            return other
         return SecpCollection(self._pki, self._costs, self._entries | other._entries)
 
     def has(self, value: Any, threshold: int) -> bool:
         return len(self.signers_for(value)) >= threshold
 
+    def _value_index(self) -> Dict[Any, list]:
+        index = self._index
+        if index is None:
+            index = {}
+            for sig in self._entries:
+                index.setdefault(sig.value, []).append(sig)
+            self._index = index
+        return index
+
     def signers_for(self, value: Any) -> FrozenSet[int]:
         cached = self._valid_cache.get(value)
         if cached is not None:
             return cached
+        candidates = self._value_index().get(value, ())
         digest = canonical_digest(value)
         valid = frozenset(
             sig.signer
-            for sig in self._entries
-            if sig.value == value and self._pki.verify_mac(sig.signer, digest, sig.mac)
+            for sig in candidates
+            if self._pki.verify_mac(sig.signer, digest, sig.mac)
         )
         self._valid_cache[value] = valid
         return valid

@@ -24,7 +24,14 @@ from repro.sim.engine import Simulator
 
 
 class FaultInjector:
-    """Mutable fault plan consulted by the network fabric on every message."""
+    """Mutable fault plan consulted by the network fabric on every message.
+
+    Hot-path contract: :meth:`Network.send`'s serialization callback peeks
+    at :attr:`crashed`, :attr:`_omission_edges`, :attr:`_drop_predicate`
+    and :attr:`_delay_fn` directly (plain attribute tests) to skip
+    :meth:`should_drop`/:meth:`extra_delay` dispatch when no rule is
+    configured. Keep any new drop/delay rule reachable from those fields.
+    """
 
     def __init__(self, sim: Simulator):
         self.sim = sim

@@ -83,10 +83,19 @@ class Endpoint:
         if match is None:
             msg = queue.popleft()
         else:
-            msg = next((m for m in queue if match(m)), None)
-            if msg is None:
+            # Locate by index and rotate/pop: deque.remove would rescan the
+            # queue comparing every element a second time.
+            for index, candidate in enumerate(queue):
+                if match(candidate):
+                    break
+            else:
                 return None
-            queue.remove(msg)
+            if index:
+                queue.rotate(-index)
+                msg = queue.popleft()
+                queue.rotate(index)
+            else:
+                msg = queue.popleft()
         if not queue:
             del self._inbox[tag]
         return msg
@@ -165,6 +174,10 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self._uid = 0
+        # Per-(src, dst) link-parameter memo in front of the shaper: every
+        # Netem in the library is static per pair, and the fabric queries
+        # per message.
+        self._params_cache: Dict[Tuple[int, int], Any] = {}
         #: Optional observers called as f(kind, msg, time) on "send",
         #: "deliver" and "drop" events (see repro.net.trace.MessageTrace).
         self.observers: List[Callable[[str, Message, float], None]] = []
@@ -213,7 +226,11 @@ class Network:
         injected delay) later -- unless a fault drops it. Self-sends are
         delivered immediately without touching the NIC.
         """
-        if src not in self.endpoints or dst not in self.endpoints:
+        # Single .get() per dict on the hot path (no membership check
+        # followed by a second hash of the same key).
+        nic = self.nics.get(src)
+        dst_endpoint = self.endpoints.get(dst)
+        if nic is None or dst_endpoint is None:
             raise NetworkError(f"send between unregistered processes {src}->{dst}")
         self._uid += 1
         msg = Message(
@@ -223,31 +240,49 @@ class Network:
         self.messages_sent += 1
         if self.observers:
             self._notify("send", msg)
-        if self.faults.is_crashed(src):
-            self.faults.dropped_messages += 1
+        faults = self.faults
+        if src in faults.crashed:
+            faults.dropped_messages += 1
             if self.observers:
                 self._notify("drop", msg)
             return msg
         if src == dst:
             self._deliver(msg)
             return msg
-        params = self.netem.params_between(src, dst)
+        key = (src, dst)
+        params = self._params_cache.get(key)
+        if params is None:
+            params = self.netem.params_between(src, dst)
+            self._params_cache[key] = params
         wire_size = size + self.header_bytes
+        propagation_delay = params.propagation_delay
 
         def after_serialization() -> None:
-            if self.faults.should_drop(msg):
-                if self.observers:
-                    self._notify("drop", msg)
-                return
-            delay = params.propagation_delay + self.faults.extra_delay(msg)
+            # Fault checks must run at serialization completion (a crash
+            # can land mid-serialization), but the overwhelmingly common
+            # no-fault case is decided by plain attribute peeks at the
+            # injector's rule sets (see FaultInjector) -- no method
+            # dispatch, no per-message tuple allocation.
+            if faults.crashed or faults._omission_edges or (
+                faults._drop_predicate is not None
+            ):
+                if faults.should_drop(msg):
+                    if self.observers:
+                        self._notify("drop", msg)
+                    return
+            if faults._delay_fn is None:
+                delay = propagation_delay
+            else:
+                delay = propagation_delay + faults.extra_delay(msg)
             self.sim.schedule(delay, self._deliver, msg)
 
-        self.nics[src].transmit(wire_size, params.bandwidth_bps, after_serialization)
+        nic.transmit(wire_size, params.bandwidth_bps, after_serialization)
         return msg
 
     def _deliver(self, msg: Message) -> None:
-        if self.faults.is_crashed(msg.dst):
-            self.faults.dropped_messages += 1
+        faults = self.faults
+        if msg.dst in faults.crashed:
+            faults.dropped_messages += 1
             if self.observers:
                 self._notify("drop", msg)
             return

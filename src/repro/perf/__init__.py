@@ -1,0 +1,31 @@
+"""Microbenchmark harness for the simulator's hot paths.
+
+``repro perf`` times the three paths that dominate wall-clock in large
+sweeps -- the event heap, cryptographic aggregation, and a full Kauri
+run -- and writes ``BENCH_core.json`` so the numbers accumulate across
+PRs and CI can fail on regressions (see ``benchmarks/perf/``).
+"""
+
+from repro.perf.micro import (
+    BENCH_SCHEMA_NOTE,
+    BenchResult,
+    bench_aggregation,
+    bench_end_to_end,
+    bench_event_loop,
+    compare_to_baseline,
+    load_results,
+    run_benches,
+    write_results,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_NOTE",
+    "BenchResult",
+    "bench_aggregation",
+    "bench_end_to_end",
+    "bench_event_loop",
+    "compare_to_baseline",
+    "load_results",
+    "run_benches",
+    "write_results",
+]

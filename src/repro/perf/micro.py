@@ -1,0 +1,232 @@
+"""Timed microbenchmarks over the simulator's hot paths.
+
+Three benches, chosen to cover the cost centres the paper makes
+structurally central (§3.3.2, §7):
+
+- ``event_loop``: raw heap throughput (events fired per second of wall
+  clock) over many interleaved self-rescheduling timer chains -- every
+  NIC serialization, propagation hop, and pacemaker timer in a run is
+  one such event.
+- ``aggregation_nX``: BLS share aggregation throughput (shares ⊕-merged
+  per second) folding one share per process up a Kauri-shaped tree, at
+  N = 100 and N = 400. The timed region is Algorithm 3's per-node work:
+  validate each incoming partial aggregate, then ⊕-merge it.
+- ``end_to_end_kauri``: committed blocks per second of *wall* clock for
+  one complete Kauri deployment (N = 31, global scenario).
+
+Each bench reports the best of ``repeats`` passes -- the standard
+microbench discipline: the minimum-interference pass is the one that
+measures the code rather than the machine.
+
+Results are written as ``BENCH_core.json`` in a stable schema::
+
+    {bench_name: {"value": float, "unit": str, "n": int, "seed": int}}
+
+so the trajectory accumulates across PRs; ``compare_to_baseline`` is
+the CI hook that fails a run whose event-loop throughput regressed.
+Wall-clock numbers are machine-dependent -- only compare within one
+machine/runner generation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+BENCH_SCHEMA_NOTE = "{bench_name: {value, unit, n, seed}}"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One bench's outcome; ``value`` is a throughput (higher is better)."""
+
+    value: float
+    unit: str
+    n: int
+    seed: int
+
+
+# ---------------------------------------------------------------------------
+# Benches
+# ---------------------------------------------------------------------------
+def bench_event_loop(
+    n_events: int = 200_000, chains: int = 64, seed: int = 0, repeats: int = 3
+) -> BenchResult:
+    """Events fired per wall-clock second with ``chains`` interleaved timers.
+
+    Each chain reschedules itself with a small random delay, so the heap
+    constantly reorders -- the access pattern of a real run, where NIC
+    completions, propagation arrivals, and pacemaker timers interleave.
+    """
+    from repro.sim.engine import Simulator
+
+    best = 0.0
+    for rep in range(repeats):
+        sim = Simulator(seed=seed + rep)
+        fired = 0
+
+        def tick() -> None:
+            nonlocal fired
+            fired += 1
+            if fired + chains <= n_events:
+                sim.schedule(sim.rng.random() * 1e-3, tick)
+
+        for _ in range(chains):
+            sim.schedule(sim.rng.random() * 1e-3, tick)
+        start = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - start
+        best = max(best, fired / elapsed)
+    return BenchResult(best, "events/s", n_events, seed)
+
+
+def bench_aggregation(
+    n: int = 100,
+    rounds: int = 8,
+    fanout: Optional[int] = None,
+    seed: int = 0,
+    repeats: int = 3,
+) -> BenchResult:
+    """Shares ⊕-merged per wall-clock second up a Kauri-shaped tree.
+
+    Per round every process signs a fresh value (signing is outside the
+    timed region), leaf shares are folded into per-internal-node partial
+    aggregates, and the partials are folded at the root. The timed region
+    is exactly an internal node's Algorithm 3 work: *validate* each
+    incoming contribution (``signers_for``), ⊕-merge it, and check the
+    final aggregate reaches the full quorum (``has``). Values are fresh
+    every round, so nothing is amortised across rounds.
+    """
+    from repro.crypto.bls import BlsScheme
+    from repro.crypto.costs import BLS_COSTS
+    from repro.crypto.keys import Pki
+
+    if fanout is None:
+        fanout = max(2, int(round(n ** 0.5)))
+    pki = Pki(n, seed=seed)
+    scheme = BlsScheme(pki, BLS_COSTS)
+    keypairs = [pki.keypair(i) for i in range(n)]
+
+    best = 0.0
+    for rep in range(repeats):
+        shares_merged = 0
+        elapsed = 0.0
+        for rnd in range(rounds):
+            value = ("bench-round", rep, rnd, seed)
+            singles = [scheme.new(kp, value) for kp in keypairs]
+            start = time.perf_counter()
+            partials = []
+            for base in range(0, n, fanout):
+                acc = scheme.empty()
+                for single in singles[base : base + fanout]:
+                    if not single.signers_for(value):
+                        raise AssertionError("invalid share in bench")
+                    shares_merged += len(single)
+                    acc = acc.combine(single)
+                partials.append(acc)
+            root = scheme.empty()
+            for partial in partials:
+                if not partial.signers_for(value):
+                    raise AssertionError("invalid partial in bench")
+                shares_merged += len(partial)
+                root = root.combine(partial)
+            if not root.has(value, n):
+                raise AssertionError("aggregation bench lost shares")
+            elapsed += time.perf_counter() - start
+        best = max(best, shares_merged / elapsed)
+    return BenchResult(best, "shares/s", n, seed)
+
+
+def bench_end_to_end(
+    n: int = 31,
+    max_commits: int = 30,
+    duration: float = 120.0,
+    seed: int = 0,
+    repeats: int = 3,
+) -> BenchResult:
+    """Committed blocks per second of wall clock for one Kauri deployment."""
+    from repro.runtime.experiment import run_experiment
+
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_experiment(
+            mode="kauri",
+            scenario="global",
+            n=n,
+            duration=duration,
+            max_commits=max_commits,
+            seed=seed,
+        )
+        elapsed = time.perf_counter() - start
+        if result.committed_blocks == 0:
+            raise AssertionError("end-to-end bench committed nothing")
+        best = max(best, result.committed_blocks / elapsed)
+    return BenchResult(best, "blocks/s-wall", n, seed)
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+def run_benches(quick: bool = False, seed: int = 0) -> Dict[str, BenchResult]:
+    """Run the full suite; ``quick`` shrinks workloads for CI smoke runs."""
+    n_events = 40_000 if quick else 200_000
+    rounds_100 = 3 if quick else 8
+    rounds_400 = 1 if quick else 3
+    commits = 10 if quick else 30
+    repeats = 2 if quick else 3
+    results = {
+        "event_loop": bench_event_loop(
+            n_events=n_events, seed=seed, repeats=repeats
+        ),
+        "aggregation_n100": bench_aggregation(
+            n=100, rounds=rounds_100, seed=seed, repeats=repeats
+        ),
+        "aggregation_n400": bench_aggregation(
+            n=400, rounds=rounds_400, seed=seed, repeats=repeats
+        ),
+        "end_to_end_kauri": bench_end_to_end(
+            max_commits=commits, seed=seed, repeats=repeats
+        ),
+    }
+    return results
+
+
+def write_results(results: Dict[str, BenchResult], path: str) -> None:
+    payload = {name: asdict(result) for name, result in sorted(results.items())}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_results(path: str) -> Dict[str, BenchResult]:
+    with open(path) as fh:
+        payload = json.load(fh)
+    return {name: BenchResult(**fields) for name, fields in payload.items()}
+
+
+def compare_to_baseline(
+    results: Dict[str, BenchResult],
+    baseline: Dict[str, BenchResult],
+    keys: tuple = ("event_loop",),
+    tolerance: float = 0.30,
+) -> List[str]:
+    """Regressions of more than ``tolerance`` on the guarded benches.
+
+    Returns human-readable problem strings (empty = pass). Only benches
+    present in both result sets are compared, so adding a bench never
+    breaks CI retroactively.
+    """
+    problems = []
+    for key in keys:
+        if key not in results or key not in baseline:
+            continue
+        new, old = results[key].value, baseline[key].value
+        if old > 0 and new < (1.0 - tolerance) * old:
+            problems.append(
+                f"{key}: {new:,.0f} {results[key].unit} is "
+                f"{(1 - new / old):.0%} below baseline {old:,.0f}"
+            )
+    return problems

@@ -6,6 +6,12 @@ state machines) is built on top of :meth:`Simulator.schedule`.
 
 The simulator is single-threaded and deterministic: events scheduled for the
 same instant fire in scheduling order (FIFO), enforced by a sequence counter.
+
+Heap entries are ``(time, seq, handle)`` tuples, not handles: ``heapq``
+then compares plain tuples C-level instead of dispatching to
+``EventHandle.__lt__`` on every sift, which dominates the event-loop
+profile at sweep scale (see ``repro perf``). ``(time, seq)`` is unique per
+entry, so the handle itself is never compared.
 """
 
 from __future__ import annotations
@@ -84,7 +90,7 @@ class Simulator:
         self.rng = random.Random(seed)
         self.strict = strict
         self.failures: List[BaseException] = []
-        self._heap: List[EventHandle] = []
+        self._heap: List[tuple] = []  # (time, seq, EventHandle)
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -99,7 +105,13 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        # Inlined schedule_at: this is the hottest allocation site in a run.
+        time = self.now + delay
+        self._seq += 1
+        handle = EventHandle(time, self._seq, fn, args, sim=self)
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        self._pending += 1
+        return handle
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run at absolute simulated ``time``."""
@@ -109,7 +121,7 @@ class Simulator:
             )
         self._seq += 1
         handle = EventHandle(time, self._seq, fn, args, sim=self)
-        heapq.heappush(self._heap, handle)
+        heapq.heappush(self._heap, (time, self._seq, handle))
         self._pending += 1
         return handle
 
@@ -131,8 +143,8 @@ class Simulator:
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify (pop order is unchanged:
-        handles are strictly ordered by (time, seq))."""
-        self._heap = [h for h in self._heap if not h.cancelled]
+        entries are strictly ordered by (time, seq))."""
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
 
@@ -140,15 +152,17 @@ class Simulator:
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Run the next pending event. Returns ``False`` if the heap is empty."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
+        """Run the next pending event. Returns ``False`` if none fired
+        (the heap was empty or held only cancelled entries)."""
+        heap = self._heap
+        while heap:
+            time, _seq, handle = heapq.heappop(heap)
             if handle.cancelled:
                 self._cancelled_in_heap -= 1
                 continue
-            if handle.time < self.now:
+            if time < self.now:
                 raise SimulationError("event heap went backwards in time")
-            self.now = handle.time
+            self.now = time
             handle.fired = True
             self._pending -= 1
             fn, args = handle.fn, handle.args
@@ -176,15 +190,17 @@ class Simulator:
         processed = 0
         try:
             while self._heap and not self._stopped:
-                nxt = self._heap[0]
-                if nxt.cancelled:
+                time, _seq, handle = self._heap[0]
+                if handle.cancelled:
                     heapq.heappop(self._heap)
                     self._cancelled_in_heap -= 1
                     continue
-                if until is not None and nxt.time > until:
+                if until is not None and time > until:
                     break
-                self.step()
-                processed += 1
+                # Count only events that actually fired: draining lazily
+                # cancelled entries must not consume the max_events budget.
+                if self.step():
+                    processed += 1
                 if max_events is not None and processed >= max_events:
                     break
             if until is not None and not self._stopped and self.now < until:

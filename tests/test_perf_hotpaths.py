@@ -1,0 +1,142 @@
+"""Guard rails for the hot-path performance work.
+
+Two kinds of protection:
+
+- **Golden metrics**: the memo caches (digest, expected-MAC, validity
+  sets) and the copy-on-write ⊕ trade wall-clock work for memory, but
+  *simulated* results must be bit-for-bit what the seed code produced.
+  Two sweep cells -- one Kauri/BLS, one HotStuff/secp -- are pinned to
+  the exact metric values captured before the optimisation landed.
+  These comparisons are ``==`` on floats on purpose.
+- **Scaling**: folding N fresh shares into a growing aggregate (the
+  Algorithm 3 pattern) must do O(1) Python-level merge work per ⊕, not
+  O(shares so far). :data:`repro.crypto.bls.MERGE_STATS` counts the
+  entries the Python merge loop actually walks.
+"""
+
+import pytest
+
+from repro.config import KB
+from repro.crypto.bls import MERGE_STATS, BlsScheme
+from repro.crypto.costs import BLS_COSTS
+from repro.crypto.keys import Pki
+from repro.runtime.experiment import run_experiment
+
+
+def _kauri_cell():
+    return run_experiment(
+        mode="kauri",
+        scenario="global",
+        n=100,
+        block_size=100 * KB,
+        stretch=2.0,
+        duration=9.0,
+        max_commits=20,
+        seed=0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Golden metrics: wall-clock caches must not leak into simulated results
+# ---------------------------------------------------------------------------
+def test_golden_kauri_cell_metrics_unchanged():
+    """Fig. 5 cell (Kauri, global, N=100, 100KB, stretch 2): every metric
+    equals the values captured on the pre-optimisation seed code."""
+    result = _kauri_cell()
+    assert result.throughput_txs == 474.0740740740741
+    assert result.throughput_blocks == 2.3703703703703702
+    assert result.latency["count"] == 16
+    assert result.latency["mean"] == 3.406228679999994
+    assert result.latency["p50"] == 3.406282319999992
+    assert result.latency["p95"] == 3.406282319999995
+    assert result.latency["max"] == 3.406282319999995
+    assert result.committed_blocks == 16
+    assert result.view_changes == 0
+    assert result.max_view == 0
+    assert result.duration == 9.0
+
+
+def test_golden_secp_cell_metrics_unchanged():
+    """HotStuff-secp cell (global, N=31, 250KB): the non-aggregating
+    scheme takes the SecpCollection fast paths; metrics are pinned to the
+    seed-code capture as well."""
+    result = run_experiment(
+        mode="hotstuff-secp",
+        scenario="global",
+        n=31,
+        block_size=250 * KB,
+        duration=30.0,
+        max_commits=12,
+        seed=7,
+    )
+    assert result.throughput_txs == 200.0
+    assert result.throughput_blocks == 0.4
+    assert result.latency["mean"] == 5.446049439999896
+    assert result.latency["p50"] == 5.446049439999891
+    assert result.committed_blocks == 10
+    assert result.view_changes == 0
+    assert result.duration == 30.0
+
+
+def test_same_seed_same_metrics():
+    """Two runs of the same cell in one process agree exactly -- warm
+    memo caches from the first run cannot perturb the second."""
+    first = _kauri_cell()
+    second = _kauri_cell()
+    assert first.throughput_txs == second.throughput_txs
+    assert first.latency == second.latency
+    assert first.committed_blocks == second.committed_blocks
+    assert first.view_changes == second.view_changes
+
+
+# ---------------------------------------------------------------------------
+# Scaling: ⊕ is copy-on-write, not copy-everything
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("n", [64, 256])
+def test_fold_merge_work_is_linear(n):
+    """Folding N singleton shares does O(N) total Python-level merge work.
+
+    Each ⊕ walks only the smaller side (the incoming singleton), so
+    entries_examined stays ~N after folding N shares; the quadratic
+    pre-optimisation behaviour would examine ~N^2/2 entries.
+    """
+    pki = Pki(n)
+    scheme = BlsScheme(pki, BLS_COSTS)
+    value = ("scaling", n)
+    singles = [scheme.new(pki.keypair(i), value) for i in range(n)]
+    MERGE_STATS.reset()
+    acc = scheme.empty()
+    for single in singles:
+        acc = acc.combine(single)
+    assert len(acc.signers_for(value)) == n
+    # 2x headroom over strictly-one-entry-per-merge; far below N^2/2.
+    assert MERGE_STATS.entries_examined <= 2 * n
+
+
+def test_fold_shares_slots_with_sources():
+    """The growing aggregate inherits whole signer maps by reference when
+    one side already holds the union (here: the first share folded into
+    the empty aggregate)."""
+    pki = Pki(8)
+    scheme = BlsScheme(pki, BLS_COSTS)
+    value = "slot-sharing"
+    first = scheme.new(pki.keypair(0), value)
+    MERGE_STATS.reset()
+    acc = scheme.empty().combine(first)
+    assert MERGE_STATS.slot_copies == 0
+    assert acc.signers_for(value) == frozenset({0})
+
+
+def test_combine_leaves_operands_untouched():
+    """⊕ is copy-on-write: operands still answer queries identically
+    after being merged into something larger."""
+    pki = Pki(8)
+    scheme = BlsScheme(pki, BLS_COSTS)
+    value = "immutability"
+    a = scheme.new(pki.keypair(1), value)
+    b = scheme.new(pki.keypair(2), value)
+    merged = a.combine(b)
+    assert merged.signers_for(value) == frozenset({1, 2})
+    assert a.signers_for(value) == frozenset({1})
+    assert b.signers_for(value) == frozenset({2})
+    assert a.cardinality() == 1 and b.cardinality() == 1
