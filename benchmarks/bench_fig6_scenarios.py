@@ -13,7 +13,7 @@ The paper's headline figure. Shapes to reproduce:
 
 from conftest import CACHE, JOBS, SCALE, run_once
 
-from repro.analysis import fig6_scenarios, format_table
+from repro.analysis import fig6_scenarios, format_table, saturation_marker
 
 
 def test_fig6_throughput_across_scenarios(benchmark, save_table, bench_ns):
@@ -27,7 +27,7 @@ def test_fig6_throughput_across_scenarios(benchmark, save_table, bench_ns):
             r.mode,
             round(r.throughput_txs / 1000.0, 3),
             round(r.latency["p50"], 2),
-            "SAT" if r.cpu_saturated else "",
+            saturation_marker(r),
         )
         for r in results
     ]

@@ -15,9 +15,11 @@ from repro.analysis.pipeline_viz import (
     render_gantt,
 )
 from repro.analysis.figures import (
+    RED_CIRCLE,
     adaptive_duration,
     fig5_stretch_sweep,
     fig6_scenarios,
+    saturation_marker,
     fig7_rtt_sweep,
     fig8_latency_bandwidth,
     fig9_throughput_latency,
@@ -35,9 +37,11 @@ __all__ = [
     "extract_spans",
     "render_gantt",
     "max_concurrency",
+    "RED_CIRCLE",
     "adaptive_duration",
     "fig5_stretch_sweep",
     "fig6_scenarios",
+    "saturation_marker",
     "fig7_rtt_sweep",
     "fig8_latency_bandwidth",
     "fig9_throughput_latency",

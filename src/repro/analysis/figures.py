@@ -108,6 +108,16 @@ def fig5_stretch_sweep(
 # ---------------------------------------------------------------------------
 # Figure 6: throughput across scenarios and system sizes (§7.4)
 # ---------------------------------------------------------------------------
+#: The paper's marker for "data point obtained in a saturated testbed".
+RED_CIRCLE = "●"
+
+
+def saturation_marker(result: ExperimentResult) -> str:
+    """Figure annotation for a data point: the paper's red circle when the
+    run's leader CPU saturated over the measurement window, else empty."""
+    return RED_CIRCLE if result.cpu_saturated else ""
+
+
 def fig6_scenarios(
     scenarios: Sequence[str] = ("national", "regional", "global"),
     ns: Sequence[int] = (100, 200, 400),
@@ -116,9 +126,12 @@ def fig6_scenarios(
     seed: int = 0,
     jobs: Optional[int] = None,
     use_cache: bool = False,
+    observability: bool = False,
 ) -> List[ExperimentResult]:
     """The paper's headline grid: every system in every scenario at every
-    size, 250 KB blocks, model-driven stretch for Kauri."""
+    size, 250 KB blocks, model-driven stretch for Kauri. With
+    ``observability=True`` each result carries a full RunReport
+    (``result.report``) for bottleneck attribution behind the red circles."""
     from repro.config import SCENARIOS
 
     specs = [
@@ -131,6 +144,7 @@ def fig6_scenarios(
             ),
             max_commits=int(150 * scale) or 15,
             seed=seed,
+            observability=observability,
         )
         for scenario in scenarios
         for n in ns

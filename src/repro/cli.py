@@ -8,6 +8,8 @@ Commands:
 - ``table``  -- regenerate Table 1 or Table 2.
 - ``fig``    -- regenerate an evaluation figure's series (fig5..fig12).
 - ``perf``   -- run the hot-path microbenchmarks (BENCH_core.json).
+- ``report`` -- run one deployment with observability on and emit its
+  RunReport JSON (per-node utilization, saturation flags, phase spans).
 
 Examples::
 
@@ -17,6 +19,7 @@ Examples::
     python -m repro table 2
     python -m repro fig 12a
     python -m repro perf --quick --check BENCH_core.json
+    python -m repro report --mode kauri --n 100 --duration 30 --validate
 """
 
 from __future__ import annotations
@@ -465,6 +468,68 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _add_report_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "report",
+        help="run one deployment with observability on; emit RunReport JSON",
+    )
+    p.add_argument("--mode", default="kauri",
+                   choices=["kauri", "kauri-np", "kauri-secp",
+                            "hotstuff-secp", "hotstuff-bls", "pbft"])
+    p.add_argument("--scenario", default="global",
+                   choices=[*SCENARIOS, "heterogeneous"])
+    p.add_argument("--n", type=int, default=100)
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--max-commits", type=int, default=None)
+    p.add_argument("--block-size-kb", type=int, default=250)
+    p.add_argument("--height", type=int, default=2)
+    p.add_argument("--lanes", type=int, default=1, help="uplink lanes per process")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the report here instead of stdout")
+    p.add_argument("--validate", action="store_true",
+                   help="check the report against the checked-in schema; "
+                        "exit 1 on mismatch")
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import report_json, validate_report
+    from repro.runtime.experiment import run_experiment
+
+    scenario = (
+        resilientdb_clusters() if args.scenario == "heterogeneous" else args.scenario
+    )
+    config = ProtocolConfig(block_size=args.block_size_kb * KB)
+    result = run_experiment(
+        mode=args.mode,
+        scenario=scenario,
+        n=None if args.scenario == "heterogeneous" else args.n,
+        duration=args.duration,
+        max_commits=args.max_commits,
+        height=args.height,
+        seed=args.seed,
+        config=config,
+        uplink_lanes=args.lanes,
+        observability=True,
+    )
+    report = result.report
+    text = report_json(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    if args.validate:
+        problems = validate_report(report)
+        if problems:
+            for problem in problems:
+                print(f"SCHEMA: {problem}", file=sys.stderr)
+            return 1
+        print("report validates against the schema", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -481,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fig_parser(subparsers)
     _add_sweep_parser(subparsers)
     _add_perf_parser(subparsers)
+    _add_report_parser(subparsers)
     return parser
 
 
@@ -495,6 +561,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig": _cmd_fig,
         "sweep": _cmd_sweep,
         "perf": _cmd_perf,
+        "report": _cmd_report,
     }
     try:
         return handlers[args.command](args)

@@ -17,7 +17,7 @@ its guarantees: the receive still always terminates, via view change).
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Optional, Tuple
+from typing import Any, Callable, Hashable, Optional, Tuple
 
 from repro.crypto.collection import Collection
 from repro.crypto.signature import SignatureScheme
@@ -127,6 +127,7 @@ class TreeComm:
         scheme: SignatureScheme,
         cpu: Cpu,
         timeout: Optional[float] = None,
+        observer: Optional[Callable[[float, int], None]] = None,
     ):
         """Coroutine implementing Algorithm 3 at this process.
 
@@ -142,10 +143,16 @@ class TreeComm:
         of *wall* time, never Δ per faulty sibling (crucial when many
         children are crashed -- the star-fallback recovery of §5.3 would
         otherwise stall behind f sequential timeouts).
+
+        ``observer``, when given, is called once with ``(elapsed_seconds,
+        partials_merged)`` when aggregation completes -- the phase timer the
+        observability layer uses to attribute this node's aggregation span
+        per consensus instance (§4.3's processing-time analogue).
         """
         base_bound = self.delta if timeout is None else timeout
         start = self.sim.now
         collection: Collection = own if own is not None else scheme.empty()
+        merged = 0
         for child in self.children:
             deadline = start + base_bound * self._child_depth_factor[child]
             bound = max(0.0, deadline - self.sim.now)
@@ -163,6 +170,9 @@ class TreeComm:
                 collection = collection.combine(partial)
             except CryptoError:
                 continue  # incompatible/forged partial: contributes nothing
+            merged += 1
+        if observer is not None:
+            observer(self.sim.now - start, merged)
         if self.parent is not None:
             self.send_to_parent(tag, collection, collection.wire_size())
         return collection

@@ -138,6 +138,9 @@ class ProtocolNode:
         self.pacer: Optional[AdaptivePacer] = None
         #: Optional application (state machine) fed by the commit path.
         self.app: Any = None
+        #: Optional :class:`~repro.obs.recorder.PhaseRecorder`, attached by
+        #: the cluster builder when observability is enabled.
+        self.obs: Any = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -423,13 +426,33 @@ class ProtocolNode:
         parent_meta: Optional[Block] = None,
     ):
         height = block.height
+        recorder = self.obs
+        decided = False
+        if recorder is not None:
+            recorder.start(height, self.sim.now)
         try:
             if is_leader:
                 self._disseminate_proposal(view, block, justify)
+                if recorder is not None:
+                    # Sends are synchronous NIC enqueues, so the uplink
+                    # backlog right after the fan-out *is* the proposal's
+                    # serialization span (the measured t_s of §4.3).
+                    recorder.disseminate(
+                        height, self.network.nic(self.node_id).backlog
+                    )
                 can_vote = True
             else:
+                entered = self.sim.now
                 can_vote = yield from self._validate_proposal(
                     view, block, justify, parent_meta
+                )
+                if recorder is not None:
+                    recorder.disseminate(height, self.sim.now - entered)
+            if recorder is None:
+                observer = None
+            else:
+                observer = lambda elapsed, merged: recorder.aggregate(
+                    height, elapsed, merged
                 )
             for phase in VOTE_PHASES:
                 own = yield from self._make_vote(view, height, phase, block, can_vote)
@@ -438,17 +461,24 @@ class ProtocolNode:
                     own,
                     self.scheme,
                     self.cpu,
+                    observer=observer,
                 )
+                resolve_started = self.sim.now
                 qc = yield from self._resolve_qc(
                     view, height, phase, block, collection, is_leader
                 )
+                if recorder is not None:
+                    recorder.wait(height, self.sim.now - resolve_started)
                 if qc is None:
                     self.instance_failures += 1
                     return False
                 self._handle_qc(qc, block)
                 can_vote = True  # a verified QC re-enables voting downstream
+            decided = True
             return True
         finally:
+            if recorder is not None:
+                recorder.finish(height, self.sim.now, decided)
             self._inflight.discard(height)
             done = self._prepare_signals.get(("done", height))
             if done is not None:

@@ -40,6 +40,11 @@ class Endpoint:
         self._waiters: Dict[Hashable, List[Tuple[Optional[MatchFn], Signal]]] = {}
         self.messages_delivered = 0
         self.bytes_delivered = 0
+        #: Live count of queued (delivered-but-unclaimed) messages, and its
+        #: high-water mark -- maintained incrementally, the per-tag sum in
+        #: :attr:`queued_messages` is too slow for per-delivery bookkeeping.
+        self._queued = 0
+        self.max_queued = 0
 
     # ------------------------------------------------------------------
     def deliver(self, msg: Message) -> None:
@@ -72,6 +77,9 @@ class Endpoint:
                 consumer.fire(msg)
                 return
         self._inbox.setdefault(msg.tag, deque()).append(msg)
+        self._queued += 1
+        if self._queued > self.max_queued:
+            self.max_queued = self._queued
 
     def try_receive(
         self, tag: Hashable, match: Optional[MatchFn] = None
@@ -98,6 +106,7 @@ class Endpoint:
                 msg = queue.popleft()
         if not queue:
             del self._inbox[tag]
+        self._queued -= 1
         return msg
 
     def receive(
@@ -143,6 +152,7 @@ class Endpoint:
         dropped = 0
         for tag in doomed:
             dropped += len(self._inbox.pop(tag))
+        self._queued -= dropped
         return dropped
 
     @property

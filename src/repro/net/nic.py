@@ -9,12 +9,21 @@ Messages are serialized strictly in enqueue order. Queueing delay (time a
 message waits behind earlier traffic) is tracked so experiments can observe
 over-pipelining: a proposal interval shorter than the sending time makes
 the backlog grow without bound.
+
+Serialization busy time is checkpointed per lane as coalesced
+``[start, end)`` intervals and bytes are logged as a cumulative series at
+enqueue instants, so the observability layer can ask for the exact link
+busy fraction and bytes carried over an arbitrary measurement window
+(half-open, like every window in this library). Back-to-back traffic
+coalesces, so a saturated uplink costs O(1) interval memory.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Callable
+from bisect import bisect_left, bisect_right
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.sim.engine import Simulator
@@ -40,11 +49,22 @@ class Nic:
         self.name = name
         self.lanes = lanes
         self._lane_busy_until = [0.0] * lanes
+        #: Per-lane coalesced busy intervals (lanes never overlap themselves).
+        self._lane_intervals: List[List[List[float]]] = [[] for _ in range(lanes)]
+        #: (enqueue time, cumulative bytes including that message); enqueue
+        #: times are nondecreasing, so window queries can bisect.
+        self._bytes_log: List[Tuple[float, int]] = []
+        #: Heap of in-flight serialization completion times -- sized lazily
+        #: at enqueue, giving the exact concurrent queue depth.
+        self._inflight_done: List[float] = []
         self.bytes_sent = 0
         self.messages_sent = 0
         self.total_queueing_delay = 0.0
         self.total_tx_time = 0.0
         self.max_backlog = 0.0
+        #: High-water mark of messages simultaneously queued or serializing.
+        self.max_queue_depth = 0
+        self._created_at = sim.now
 
     def transmit(
         self,
@@ -75,8 +95,27 @@ class Nic:
         self.total_queueing_delay += queueing
         self.total_tx_time += tx_time
         self.max_backlog = max(self.max_backlog, done - now)
+        if tx_time > 0.0:
+            self._record_busy(lane, start, done)
+        self._bytes_log.append((now, self.bytes_sent))
+        inflight = self._inflight_done
+        while inflight and inflight[0] <= now:
+            heapq.heappop(inflight)
+        heapq.heappush(inflight, done)
+        if len(inflight) > self.max_queue_depth:
+            self.max_queue_depth = len(inflight)
         self.sim.schedule_at(done, on_serialized)
         return done
+
+    def _record_busy(self, lane: int, start: float, end: float) -> None:
+        intervals = self._lane_intervals[lane]
+        # FIFO per lane: a message starting exactly when its predecessor
+        # finished extends the open interval instead of opening a new one.
+        if intervals and start <= intervals[-1][1]:
+            if end > intervals[-1][1]:
+                intervals[-1][1] = end
+        else:
+            intervals.append([start, end])
 
     @property
     def backlog(self) -> float:
@@ -87,12 +126,53 @@ class Nic:
     def busy(self) -> bool:
         return any(t > self.sim.now for t in self._lane_busy_until)
 
-    def utilization(self, since: float = 0.0) -> float:
-        """Fraction of aggregate capacity spent serializing since ``since``."""
-        elapsed = (self.sim.now - since) * self.lanes
+    def busy_in(self, start: float, end: float) -> float:
+        """Exact lane-seconds spent serializing inside ``[start, end)``.
+
+        Sums over lanes, so the result is bounded by ``lanes * (end-start)``.
+        Traffic *scheduled* past the current instant still counts -- lane
+        occupancy is decided at enqueue time, which is what the sending-time
+        formulas of §4.3 model.
+        """
+        if end <= start:
+            return 0.0
+        total = 0.0
+        for intervals in self._lane_intervals:
+            index = bisect_right(intervals, start, key=lambda iv: iv[1])
+            for i in range(index, len(intervals)):
+                s, e = intervals[i]
+                if s >= end:
+                    break
+                total += min(e, end) - max(s, start)
+        return total
+
+    def bytes_in(self, start: float, end: float) -> int:
+        """Bytes enqueued for serialization inside ``[start, end)``."""
+        if end <= start or not self._bytes_log:
+            return 0
+        log = self._bytes_log
+        lo = bisect_left(log, (start, -1))
+        hi = bisect_left(log, (end, -1))
+        if hi <= lo:
+            return 0
+        before = log[lo - 1][1] if lo else 0
+        return log[hi - 1][1] - before
+
+    def utilization(self, since: float = 0.0, until: Optional[float] = None) -> float:
+        """Fraction of aggregate lane capacity spent serializing over the
+        half-open window ``[since, until)`` (``until`` defaults to now).
+
+        Exact windowed accounting (in-window busy over in-window capacity),
+        so no clamp is needed; values can only exceed 1.0 for a window
+        ending before already-scheduled traffic drains, which is genuine
+        oversubscription worth seeing, not a bug to mask.
+        """
+        hi = self.sim.now if until is None else until
+        lo = max(since, self._created_at)
+        elapsed = (hi - lo) * self.lanes
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.total_tx_time / elapsed)
+        return self.busy_in(lo, hi) / elapsed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Nic({self.name!r}, backlog={self.backlog:.4f}s)"

@@ -83,6 +83,7 @@ class Cluster:
         workload_factory: Optional[Callable[[int], Any]] = None,
         uplink_lanes: int = 1,
         strict: bool = True,
+        observability: bool = False,
     ):
         self.mode = mode_spec(mode) if isinstance(mode, str) else mode
         self.config = config if config is not None else ProtocolConfig()
@@ -136,6 +137,16 @@ class Cluster:
             self.nodes.append(node)
             if node_id in byzantine:
                 self.faults.mark_byzantine(node_id)
+
+        #: node_id -> PhaseRecorder when observability is on (else empty).
+        self.recorders: Dict[int, Any] = {}
+        if observability:
+            from repro.obs.recorder import PhaseRecorder
+
+            for node in self.nodes:
+                recorder = PhaseRecorder()
+                node.obs = recorder
+                self.recorders[node.node_id] = recorder
 
         for node_id, when in crashes:
             self.crash_at(node_id, when)

@@ -8,7 +8,7 @@ paper's red circles mark "data points obtained in a saturated testbed").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from repro.config import ProtocolConfig
@@ -35,6 +35,8 @@ class ExperimentResult:
     cpu_saturated: bool
     leader_cpu_utilization: float
     instance_failures: int
+    #: Full RunReport (repro.obs) when the run had observability enabled.
+    report: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     def row(self) -> Tuple:
         """Compact tuple for table printing."""
@@ -64,6 +66,7 @@ def run_experiment(
     crashes: Sequence[Tuple[int, float]] = (),
     uplink_lanes: int = 1,
     saturation_threshold: float = 0.95,
+    observability: bool = False,
 ) -> ExperimentResult:
     """Build, run, and measure one deployment.
 
@@ -71,6 +74,9 @@ def run_experiment(
     explicit values reproduce the stretch sweeps (Figure 5). ``max_commits``
     bounds simulation cost for fast configurations without biasing
     throughput (the window is still wall-clock based).
+    ``observability=True`` additionally records per-instance phase spans
+    and attaches the full :func:`repro.obs.build_report` document as
+    ``result.report`` (measured over the same steady-state window).
     """
     cfg = config if config is not None else ProtocolConfig()
     if block_size is not None:
@@ -87,6 +93,7 @@ def run_experiment(
         seed=seed,
         crashes=crashes,
         uplink_lanes=uplink_lanes,
+        observability=observability,
     )
     cluster.start()
     cluster.run(duration=duration, max_commits=max_commits)
@@ -95,7 +102,24 @@ def run_experiment(
     end = cluster.sim.now
     warmup = min(end * warmup_fraction, end)
     metrics = cluster.metrics
-    utilization = cluster.leader_cpu_utilization
+    # Saturation over the measurement window [warmup, end), not the whole
+    # run -- warm-up ramp must not dilute (or inflate) the flag.
+    root = cluster.policy.leader_of(0)
+    utilization = (
+        cluster.nodes[root].cpu.utilization(since=warmup, until=end)
+        if end > warmup
+        else 0.0
+    )
+    report: Optional[Dict[str, Any]] = None
+    if observability:
+        from repro.obs.report import build_report
+
+        report = build_report(
+            cluster,
+            start=warmup,
+            end=end,
+            saturation_threshold=saturation_threshold,
+        )
     return ExperimentResult(
         mode=cluster.mode.name,
         scenario=getattr(cluster.scenario, "name", str(cluster.scenario)),
@@ -113,4 +137,5 @@ def run_experiment(
         cpu_saturated=utilization >= saturation_threshold,
         leader_cpu_utilization=utilization,
         instance_failures=sum(node.instance_failures for node in cluster.nodes),
+        report=report,
     )

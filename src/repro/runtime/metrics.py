@@ -9,6 +9,12 @@ Measurement conventions (matching §7):
   the paper plots.
 - *Time series* bucket committed transactions per second, used for the
   reconfiguration plots (Figure 12).
+- Every window is **half-open**, ``[lo, hi)``: an event landing exactly on
+  a window edge belongs to the window that *starts* there. Adjacent
+  windows (warm-up + measurement, consecutive time-series buckets)
+  therefore partition the event stream -- nothing is counted twice and
+  nothing is dropped, which is what lets a report split a run's totals
+  exactly.
 """
 
 from __future__ import annotations
@@ -108,24 +114,29 @@ class Metrics:
         return lo, hi
 
     def throughput_txs(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
-        """Committed transactions per second over [start, end]."""
+        """Committed transactions per second over the half-open ``[start, end)``.
+
+        A commit landing exactly at ``end`` belongs to the *next* window, so
+        splitting a run at any instant partitions its transactions exactly
+        (nothing double-counted by adjacent warm-up/measurement windows).
+        """
         lo, hi = self._window(start, end)
         if hi <= lo:
             return 0.0
-        txs = sum(n for t, n in self.commit_events if lo <= t <= hi)
+        txs = sum(n for t, n in self.commit_events if lo <= t < hi)
         return txs / (hi - lo)
 
     def throughput_blocks(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
         lo, hi = self._window(start, end)
         if hi <= lo:
             return 0.0
-        blocks = sum(1 for t, _ in self.commit_events if lo <= t <= hi)
+        blocks = sum(1 for t, _ in self.commit_events if lo <= t < hi)
         return blocks / (hi - lo)
 
     def latencies(self, start: Optional[float] = None, end: Optional[float] = None) -> List[float]:
         lo, hi = self._window(start, end)
         return sorted(
-            rec.latency for rec in self.first_commits.values() if lo <= rec.time <= hi
+            rec.latency for rec in self.first_commits.values() if lo <= rec.time < hi
         )
 
     def latency_stats(
@@ -135,8 +146,11 @@ class Metrics:
         values = self.latencies(start, end)
         if not values:
             return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0, "count": 0}
+        # fsum + clamp: float rounding must not push the mean outside
+        # [min, max] (e.g. three identical latencies summed naively).
+        mean = min(max(math.fsum(values) / len(values), values[0]), values[-1])
         return {
-            "mean": sum(values) / len(values),
+            "mean": mean,
             "p50": percentile(values, 50),
             "p95": percentile(values, 95),
             "max": values[-1],
@@ -146,16 +160,23 @@ class Metrics:
     def timeseries_txs(
         self, bucket: float = 1.0, end: Optional[float] = None
     ) -> List[Tuple[float, float]]:
-        """(bucket_start, txs/s) series for recovery plots (Figure 12)."""
+        """(bucket_start, txs/s) series for recovery plots (Figure 12).
+
+        Buckets are half-open ``[i*bucket, (i+1)*bucket)``. An event landing
+        exactly on the horizon opens a new bucket -- the series grows instead
+        of clamping the event into the last in-range bucket, which would
+        inflate that bucket's rate.
+        """
         if bucket <= 0:
             raise ValueError(f"non-positive bucket: {bucket}")
         horizon = self.sim.now if end is None else end
         buckets = int(math.ceil(horizon / bucket)) if horizon > 0 else 0
         series = [0.0] * buckets
         for time, txs in self.commit_events:
-            index = min(int(time / bucket), buckets - 1) if buckets else 0
-            if buckets:
-                series[index] += txs
+            index = int(time / bucket)
+            while index >= len(series):
+                series.append(0.0)
+            series[index] += txs
         return [(i * bucket, total / bucket) for i, total in enumerate(series)]
 
     def commit_gap_after(self, time: float) -> Optional[float]:

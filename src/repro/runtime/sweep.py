@@ -41,7 +41,8 @@ from repro.runtime.experiment import ExperimentResult, run_experiment
 
 #: Bump whenever simulation semantics change such that an unchanged spec
 #: would produce different numbers; stale cache entries are then ignored.
-CACHE_SCHEMA = 1
+#: 2: half-open measurement windows + windowed (exact) leader utilization.
+CACHE_SCHEMA = 2
 
 #: Environment override for the default cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
@@ -96,6 +97,7 @@ class ExperimentSpec:
     crashes: Tuple[Tuple[int, float], ...] = ()
     uplink_lanes: int = 1
     saturation_threshold: float = 0.95
+    observability: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -134,6 +136,7 @@ class ExperimentSpec:
             "crashes": [list(c) for c in self.crashes],
             "uplink_lanes": self.uplink_lanes,
             "saturation_threshold": self.saturation_threshold,
+            "observability": self.observability,
         }
 
     def key(self) -> str:
@@ -160,6 +163,7 @@ class ExperimentSpec:
             crashes=self.crashes,
             uplink_lanes=self.uplink_lanes,
             saturation_threshold=self.saturation_threshold,
+            observability=self.observability,
         )
 
 

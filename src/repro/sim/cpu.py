@@ -6,12 +6,22 @@ pipelined consensus instances on the same node contend for compute exactly
 as they would on one core of the paper's testbed machines. Utilization is
 tracked so experiments can flag CPU-saturated data points (the paper marks
 these with red circles).
+
+Busy time is checkpointed as a sorted list of coalesced ``[start, end)``
+intervals, so :meth:`busy_in` -- and therefore :meth:`utilization` over an
+arbitrary measurement window -- is exact: a job straddling the window edge
+contributes only its in-window part, a job cancelled mid-``Sleep`` still
+contributes the compute it performed before dying, and the job running
+right now contributes up to the current instant. Back-to-back jobs merge
+into one interval, so a saturated CPU costs O(1) memory however many jobs
+it serves.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
-from typing import Deque, Generator
+from typing import Deque, Generator, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim.engine import Simulator
@@ -30,9 +40,15 @@ class Cpu:
         self.sim = sim
         self.name = name
         self._busy = False
+        self._busy_since: Optional[float] = None
         self._queue: Deque[Signal] = deque()
+        #: Coalesced, time-sorted busy intervals; parallel lists so window
+        #: queries can bisect the end times directly.
+        self._interval_starts: List[float] = []
+        self._interval_ends: List[float] = []
         self.busy_time = 0.0
         self.jobs_completed = 0
+        self.jobs_cancelled = 0
         self._created_at = sim.now
 
     def consume(self, seconds: float) -> Generator:
@@ -54,15 +70,37 @@ class Cpu:
             self._queue.append(turn)
             yield WaitSignal(turn)
         self._busy = True
+        self._busy_since = self.sim.now
+        completed = False
         try:
             yield Sleep(seconds)
-            self.busy_time += seconds
+            completed = True
             self.jobs_completed += 1
         finally:
+            # Checkpoint the busy span up to *now*: the full cost on normal
+            # completion, the partial cost when cancelled mid-Sleep.
+            self._record_busy(self._busy_since, self.sim.now)
+            if not completed:
+                self.jobs_cancelled += 1
             self._busy = False
+            self._busy_since = None
             waiters, self._queue = self._queue, deque()
             for turn in waiters:
                 turn.fire_if_unfired()
+
+    def _record_busy(self, start: float, end: float) -> None:
+        if end <= start:
+            return
+        self.busy_time += end - start
+        ends = self._interval_ends
+        # Jobs start in nondecreasing time order; a job starting exactly
+        # when its predecessor finished extends that interval in place.
+        if ends and start <= ends[-1]:
+            if end > ends[-1]:
+                ends[-1] = end
+        else:
+            self._interval_starts.append(start)
+            ends.append(end)
 
     @property
     def queue_length(self) -> int:
@@ -73,12 +111,45 @@ class Cpu:
     def busy(self) -> bool:
         return self._busy
 
-    def utilization(self, since: float = 0.0) -> float:
-        """Fraction of wall (simulated) time spent computing since ``since``."""
-        elapsed = self.sim.now - max(since, self._created_at)
+    def busy_in(self, start: float, end: float) -> float:
+        """Exact busy seconds inside the half-open window ``[start, end)``.
+
+        Includes completed jobs, the partial work of jobs cancelled
+        mid-execution, and the in-progress job up to ``min(end, now)``.
+        """
+        if end <= start:
+            return 0.0
+        total = 0.0
+        # Skip intervals that finished at or before the window start.
+        index = bisect_right(self._interval_ends, start)
+        starts, ends = self._interval_starts, self._interval_ends
+        for i in range(index, len(ends)):
+            s = starts[i]
+            if s >= end:
+                break
+            total += min(ends[i], end) - max(s, start)
+        if self._busy_since is not None:
+            s = max(self._busy_since, start)
+            e = min(self.sim.now, end)
+            if e > s:
+                total += e - s
+        return total
+
+    def utilization(self, since: float = 0.0, until: Optional[float] = None) -> float:
+        """Fraction of wall (simulated) time spent computing over the
+        half-open window ``[since, until)`` (``until`` defaults to now).
+
+        Exact by construction: the numerator is the checkpointed busy time
+        *inside* the window, never lifetime busy time divided by a shorter
+        window -- so no clamp is needed (or wanted: a clamp would mask
+        exactly that overstatement bug).
+        """
+        hi = self.sim.now if until is None else until
+        lo = max(since, self._created_at)
+        elapsed = hi - lo
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.busy_time / elapsed)
+        return self.busy_in(lo, hi) / elapsed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Cpu({self.name!r}, busy={self._busy}, queued={len(self._queue)})"

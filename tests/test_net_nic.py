@@ -105,3 +105,56 @@ def test_invalid_arguments():
         nic.transmit(-1, 10_000.0, lambda: None)
     with pytest.raises(NetworkError):
         nic.transmit(10, 0.0, lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# Windowed accounting: busy fractions and bytes over [start, end)
+# ---------------------------------------------------------------------------
+def test_busy_in_adjacent_windows_partition():
+    sim = Simulator()
+    nic = Nic(sim)
+    nic.transmit(1250, 10_000.0, lambda: None)  # busy [0, 1)
+    sim.run(until=2.0)
+    nic.transmit(1250, 10_000.0, lambda: None)  # busy [2, 3)
+    sim.run(until=5.0)
+    total = nic.busy_in(0.0, 5.0)
+    assert total == pytest.approx(2.0)
+    for cut in (0.5, 1.0, 2.0, 2.5, 3.0, 4.0):
+        assert nic.busy_in(0.0, cut) + nic.busy_in(cut, 5.0) == pytest.approx(
+            total
+        ), cut
+
+
+def test_windowed_utilization_and_bytes():
+    sim = Simulator()
+    nic = Nic(sim)
+    nic.transmit(1250, 10_000.0, lambda: None)
+    sim.run(until=4.0)
+    assert nic.utilization() == pytest.approx(0.25)
+    assert nic.utilization(since=0.0, until=1.0) == pytest.approx(1.0)
+    # Idle window after the transmit: nothing carries over.
+    assert nic.utilization(since=1.0) == pytest.approx(0.0)
+    # Bytes attribute to the enqueue time (documented convention).
+    assert nic.bytes_in(0.0, 1.0) == 1250
+    assert nic.bytes_in(1.0, 4.0) == 0
+
+
+def test_in_flight_transmit_counts_toward_window():
+    sim = Simulator()
+    nic = Nic(sim)
+    nic.transmit(12_500, 10_000.0, lambda: None)  # 10 s serialization
+    sim.run(until=4.0)
+    assert nic.busy_in(0.0, 4.0) == pytest.approx(4.0)
+    assert nic.utilization() == pytest.approx(1.0)
+
+
+def test_queue_depth_high_water_mark():
+    sim = Simulator()
+    nic = Nic(sim)
+    for _ in range(3):
+        nic.transmit(1250, 10_000.0, lambda: None)
+    assert nic.max_queue_depth == 3
+    sim.run()
+    nic.transmit(1250, 10_000.0, lambda: None)
+    sim.run()
+    assert nic.max_queue_depth == 3  # high water, not current depth

@@ -111,3 +111,46 @@ class TestPercentile:
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+
+
+# ---------------------------------------------------------------------------
+# Half-open window convention [lo, hi)
+# ---------------------------------------------------------------------------
+def test_window_boundaries_are_half_open(metrics):
+    """Regression: closed intervals (lo <= t <= hi) double-counted commits
+    landing exactly on a shared boundary of two adjacent windows."""
+    metrics.on_commit(0, block(1, num_txs=100), 10.0)
+    metrics.on_commit(0, block(2, num_txs=100), 20.0)
+    metrics.on_commit(0, block(3, num_txs=100), 25.0)
+    # The commit at exactly t=20 belongs to [20, 30), not [10, 20).
+    assert metrics.throughput_txs(10.0, 20.0) == pytest.approx(10.0)
+    assert metrics.throughput_txs(20.0, 30.0) == pytest.approx(20.0)
+    assert len(metrics.latencies(10.0, 20.0)) == 1
+    assert len(metrics.latencies(20.0, 30.0)) == 2
+    assert metrics.throughput_blocks(10.0, 20.0) == pytest.approx(0.1)
+
+
+def test_adjacent_windows_partition_commits(metrics):
+    """Tx counts over adjacent half-open windows sum to the whole window."""
+    times = [5.0, 10.0, 10.0 + 1e-12, 15.0, 20.0]
+    for height, when in enumerate(times, start=1):
+        metrics.on_commit(0, block(height, num_txs=10), when)
+    whole = metrics.throughput_txs(0.0, 25.0) * 25.0
+    for cut in (5.0, 10.0, 12.5, 20.0):
+        split = (
+            metrics.throughput_txs(0.0, cut) * cut
+            + metrics.throughput_txs(cut, 25.0) * (25.0 - cut)
+        )
+        assert split == pytest.approx(whole), cut
+
+
+def test_timeseries_event_at_horizon_extends_series(metrics):
+    """Regression: a commit at exactly t == end was clamped into the last
+    bucket instead of opening the next one."""
+    metrics.on_commit(0, block(1, num_txs=50), 0.5)
+    metrics.on_commit(0, block(2, num_txs=70), 2.0)
+    series = metrics.timeseries_txs(bucket=1.0, end=2.0)
+    assert series[0] == (0.0, pytest.approx(50.0))
+    assert series[1] == (1.0, pytest.approx(0.0))
+    # The t=2.0 commit opens bucket [2, 3), appended past the horizon.
+    assert series[2] == (2.0, pytest.approx(70.0))

@@ -134,3 +134,78 @@ def test_cancelled_running_job_releases_cpu():
     sim.run()
     assert log == [("next", 3.0)]
     assert not cpu.busy
+
+
+# ---------------------------------------------------------------------------
+# Windowed accounting: utilization over an arbitrary [start, end) window
+# ---------------------------------------------------------------------------
+def test_windowed_utilization_is_windowed_not_lifetime():
+    """Regression: utilization(since) used to divide *lifetime* busy time by
+    the windowed elapsed time, then hide the >1 results behind a clamp."""
+    sim = Simulator()
+    cpu = Cpu(sim)
+    run_jobs(sim, cpu, [(0.0, 4.0, "early")])  # busy over [0, 4)
+    sim.run(until=8.0)
+    # Whole run: 4 busy of 8.
+    assert cpu.utilization() == pytest.approx(0.5)
+    # Idle tail [4, 8): no busy time may leak in from the earlier job.
+    assert cpu.utilization(since=4.0) == pytest.approx(0.0)
+    # Window straddling the job's end: 2 busy of 4.
+    assert cpu.utilization(since=2.0, until=6.0) == pytest.approx(0.5)
+    # Exact, so never over 1 -- no clamp required.
+    assert cpu.utilization(since=0.0, until=4.0) == pytest.approx(1.0)
+
+
+def test_adjacent_windows_partition_busy_time():
+    """busy_in over adjacent half-open windows sums to the whole: no
+    boundary double-count, no gap, even when a cut lands mid-job."""
+    sim = Simulator()
+    cpu = Cpu(sim)
+    run_jobs(sim, cpu, [(0.0, 2.0, "a"), (3.0, 2.0, "b"), (6.5, 1.0, "c")])
+    sim.run(until=10.0)
+    total = cpu.busy_in(0.0, 10.0)
+    assert total == pytest.approx(5.0)
+    for cut in (1.0, 2.0, 3.0, 4.0, 6.5, 7.0, 7.5, 9.9):
+        assert cpu.busy_in(0.0, cut) + cpu.busy_in(cut, 10.0) == pytest.approx(
+            total
+        ), cut
+
+
+def test_in_progress_job_counts_toward_window():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    run_jobs(sim, cpu, [(0.0, 10.0, "long")])
+    sim.run(until=4.0)  # job still running
+    assert cpu.busy_in(0.0, 4.0) == pytest.approx(4.0)
+    assert cpu.utilization() == pytest.approx(1.0)
+    assert cpu.utilization(since=1.0, until=3.0) == pytest.approx(1.0)
+
+
+def test_cancelled_job_partial_busy_is_accounted():
+    """A cancelled job's CPU time up to the cancel is real busy time; the
+    job itself counts as cancelled, not completed."""
+    sim = Simulator()
+    cpu = Cpu(sim)
+
+    def job():
+        yield from cpu.consume(100.0)
+
+    task = spawn(sim, job())
+    sim.schedule(3.0, task.cancel)
+    sim.run(until=10.0)
+    assert cpu.jobs_completed == 0
+    assert cpu.jobs_cancelled == 1
+    assert cpu.busy_in(0.0, 10.0) == pytest.approx(3.0)
+    assert cpu.utilization() == pytest.approx(0.3)
+    # The idle tail after the cancel stays idle.
+    assert cpu.utilization(since=3.0) == pytest.approx(0.0)
+
+
+def test_saturated_cpu_memory_is_bounded_by_coalescing():
+    """Back-to-back jobs coalesce into one busy interval."""
+    sim = Simulator()
+    cpu = Cpu(sim)
+    run_jobs(sim, cpu, [(0.0, 1.0, i) for i in range(50)])
+    sim.run()
+    assert len(cpu._interval_starts) == 1
+    assert cpu.busy_in(0.0, 50.0) == pytest.approx(50.0)
