@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -432,6 +433,8 @@ def _add_perf_parser(subparsers) -> None:
     p.add_argument("--tolerance", type=float, default=0.30,
                    help="allowed fractional regression for --check "
                         "(default 0.30; wall-clock benches are noisy)")
+    p.add_argument("--bench", action="append", default=None, metavar="NAME",
+                   help="run only this bench (repeatable); default: all")
     p.add_argument("--seed", type=int, default=0)
 
 
@@ -443,7 +446,11 @@ def _cmd_perf(args) -> int:
         write_results,
     )
 
-    results = run_benches(quick=args.quick, seed=args.seed)
+    try:
+        results = run_benches(quick=args.quick, seed=args.seed, only=args.bench)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     rows = [
         (name, f"{r.value:,.1f}", r.unit, r.n, r.seed)
         for name, r in sorted(results.items())
@@ -453,7 +460,11 @@ def _cmd_perf(args) -> int:
         rows,
         title="Hot-path microbenchmarks" + (" (quick)" if args.quick else ""),
     ))
-    write_results(results, args.out)
+    to_write = results
+    if args.bench and os.path.exists(args.out):
+        # A subset run must not clobber the other benches' entries.
+        to_write = {**load_results(args.out), **results}
+    write_results(to_write, args.out)
     print(f"wrote {args.out}")
     if args.check is not None:
         baseline = load_results(args.check)

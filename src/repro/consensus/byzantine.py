@@ -71,17 +71,18 @@ class EquivocatingLeaderNode(ProtocolNode):
         self._twins[block.height] = twin
         parent_meta = self.store.get(block.parent)
         size = block.payload_size + justify.wire_size() + PROPOSAL_OVERHEAD
+        # Equivocation is two honest-looking multicasts: one block per
+        # half. (It cannot be a single multicast -- payloads differ -- but
+        # each half still charges the uplink as one §4.3 batch.)
         kids = self.comm.children
         half = len(kids) // 2
-        for index, child in enumerate(kids):
-            chosen = block if index < half else twin
-            self.network.send(
-                self.node_id,
-                child,
-                _prop_tag(view),
-                (chosen, justify, parent_meta),
-                size,
-            )
+        tag = _prop_tag(view)
+        self.network.multicast(
+            self.node_id, kids[:half], tag, (block, justify, parent_meta), size
+        )
+        self.network.multicast(
+            self.node_id, kids[half:], tag, (twin, justify, parent_meta), size
+        )
 
 
 class _VoteDroppingComm(TreeComm):

@@ -23,7 +23,16 @@ from repro.sim.timers import Timer
 
 
 class Pacemaker:
-    """Progress watchdog for one replica."""
+    """Progress watchdog for one replica.
+
+    The restart pattern is extreme: under steady pipelining every committed
+    block re-arms the watchdog, so virtually every armed deadline is
+    cancelled and the timeout fires only on genuine stalls. The underlying
+    :class:`~repro.sim.timers.Timer` therefore parks on the simulator's
+    timer wheel (:meth:`Simulator.schedule_timeout`), making each
+    arm/cancel cycle O(1) instead of leaving a lazily-cancelled entry on
+    the event heap per round.
+    """
 
     def __init__(
         self,

@@ -71,9 +71,16 @@ class TreeComm:
     # Raw edges
     # ------------------------------------------------------------------
     def send_to_children(self, tag: Hashable, payload: Any, size: int) -> None:
-        """Forward ``payload`` down one level (Algorithm 2, lines 7-9)."""
-        for child in self.children:
-            self.network.send(self.node_id, child, tag, payload, size)
+        """Forward ``payload`` down one level (Algorithm 2, lines 7-9).
+
+        Routed through the fabric's batched :meth:`Network.multicast`: the
+        §4.3 back-to-back child serializations are charged to the uplink in
+        one pass instead of ``fanout`` independent sends. On a star
+        topology the root's children are all other processes, so this is
+        also HotStuff's leader broadcast.
+        """
+        if self.children:
+            self.network.multicast(self.node_id, self.children, tag, payload, size)
 
     def send_to_parent(self, tag: Hashable, payload: Any, size: int) -> None:
         if self.parent is None:

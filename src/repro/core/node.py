@@ -486,7 +486,12 @@ class ProtocolNode:
 
     def _disseminate_proposal(self, view: int, block: Block, justify: QuorumCert) -> None:
         """Hook: round-1 dissemination by the root (overridden by Byzantine
-        leaders, e.g. to equivocate)."""
+        leaders, e.g. to equivocate).
+
+        ``send_to_children`` is one fabric multicast: the root's §4.3
+        back-to-back child serializations are charged to its uplink in a
+        single batched NIC pass (on a star, this is the leader broadcast).
+        """
         payload = (block, justify, self.store.get(block.parent))
         size = block.payload_size + justify.wire_size() + PROPOSAL_OVERHEAD
         self.comm.send_to_children(_prop_tag(view), payload, size)

@@ -145,14 +145,24 @@ class Endpoint:
     def purge(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop queued messages whose tag satisfies ``predicate``.
 
-        Returns the number of messages discarded. Blocked waiters are left
-        alone (their owning tasks are cancelled separately on view change).
+        Returns the number of messages discarded. Live waiters are left
+        alone (their owning tasks are cancelled separately on view change),
+        but dead entries -- waiters whose signal already resolved, lingering
+        until their coroutine's ``finally`` runs -- are pruned for purged
+        tags, mirroring :meth:`deliver`. A view change would otherwise
+        leave them behind forever on tags no message will touch again.
         """
         doomed = [tag for tag in self._inbox if predicate(tag)]
         dropped = 0
         for tag in doomed:
             dropped += len(self._inbox.pop(tag))
         self._queued -= dropped
+        for tag in [tag for tag in self._waiters if predicate(tag)]:
+            live = [entry for entry in self._waiters[tag] if not entry[1].fired]
+            if live:
+                self._waiters[tag][:] = live
+            else:
+                del self._waiters[tag]
         return dropped
 
     @property
@@ -184,9 +194,14 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self._uid = 0
+        #: Route :meth:`multicast` through the batched single-pass path.
+        #: The multicast equivalence property test flips this off to force
+        #: the sequential per-destination reference path.
+        self.multicast_enabled = True
         # Per-(src, dst) link-parameter memo in front of the shaper: every
         # Netem in the library is static per pair, and the fabric queries
-        # per message.
+        # per message. Invalidated via invalidate_links() when a
+        # reconfiguration swaps the shaper.
         self._params_cache: Dict[Tuple[int, int], Any] = {}
         #: Optional observers called as f(kind, msg, time) on "send",
         #: "deliver" and "drop" events (see repro.net.trace.MessageTrace).
@@ -264,30 +279,165 @@ class Network:
         if params is None:
             params = self.netem.params_between(src, dst)
             self._params_cache[key] = params
-        wire_size = size + self.header_bytes
-        propagation_delay = params.propagation_delay
-
-        def after_serialization() -> None:
-            # Fault checks must run at serialization completion (a crash
-            # can land mid-serialization), but the overwhelmingly common
-            # no-fault case is decided by plain attribute peeks at the
-            # injector's rule sets (see FaultInjector) -- no method
-            # dispatch, no per-message tuple allocation.
-            if faults.crashed or faults._omission_edges or (
-                faults._drop_predicate is not None
-            ):
-                if faults.should_drop(msg):
-                    if self.observers:
-                        self._notify("drop", msg)
-                    return
-            if faults._delay_fn is None:
-                delay = propagation_delay
-            else:
-                delay = propagation_delay + faults.extra_delay(msg)
-            self.sim.schedule(delay, self._deliver, msg)
-
-        nic.transmit(wire_size, params.bandwidth_bps, after_serialization)
+        done = nic.transmit_raw(size + self.header_bytes, params.bandwidth_bps)
+        if faults._armed:
+            self.sim.schedule_call_at(
+                done, self._serialized, msg, params.propagation_delay
+            )
+        else:
+            # No fault rule has ever been registered on this injector, and
+            # arming is monotonic, so none can exist when serialization
+            # completes either: skip the completion hop and schedule the
+            # delivery directly -- one handle-free event instead of two.
+            self.sim.schedule_call_at(
+                done + params.propagation_delay, self._deliver, msg
+            )
         return msg
+
+    def _serialized(self, msg: Message, propagation_delay: float) -> None:
+        """Per-message serialization-completion hook (armed injector only).
+
+        Fault checks must run at serialization completion (a crash can land
+        mid-serialization, also mid-multicast-fan-out), but the common
+        no-rule case is decided by plain attribute peeks at the injector's
+        rule sets (see FaultInjector) -- no method dispatch, no per-message
+        tuple allocation.
+        """
+        faults = self.faults
+        if faults.crashed or faults._omission_edges or (
+            faults._drop_predicate is not None
+        ):
+            if faults.should_drop(msg):
+                if self.observers:
+                    self._notify("drop", msg)
+                return
+        if faults._delay_fn is None:
+            delay = propagation_delay
+        else:
+            delay = propagation_delay + faults.extra_delay(msg)
+        self.sim.schedule_call(delay, self._deliver, msg)
+
+    def multicast(
+        self,
+        src: int,
+        dsts: Tuple[int, ...],
+        tag: Hashable,
+        payload: Any,
+        size: int,
+    ) -> List[Message]:
+        """Send ``payload`` from ``src`` to every process in ``dsts``.
+
+        Equivalent -- message for message, event for event, bit for bit --
+        to ``[self.send(src, dst, tag, payload, size) for dst in dsts]``,
+        but in one pass: one wire size, one params lookup per destination
+        (memoised), one chained NIC occupancy computation
+        (:meth:`Nic.transmit_batch`), and one handle-free completion event
+        per destination instead of a per-destination closure. Per-message
+        fault decisions still happen at each serialization-completion
+        instant, so a crash landing mid-fan-out drops exactly the suffix
+        it would have dropped under sequential sends.
+
+        Self-sends (``src in dsts``) deliver synchronously mid-sequence,
+        so such batches take the sequential reference path.
+        """
+        if not dsts:
+            return []
+        if not self.multicast_enabled or src in dsts:
+            return [self.send(src, dst, tag, payload, size) for dst in dsts]
+        nic = self.nics.get(src)
+        if nic is None:
+            raise NetworkError(f"multicast from unregistered process {src}")
+        sim = self.sim
+        now = sim.now
+        faults = self.faults
+        observers = self.observers
+        endpoints = self.endpoints
+        uid = self._uid
+        msgs: List[Message] = []
+        if src in faults.crashed:
+            for dst in dsts:
+                if dst not in endpoints:
+                    raise NetworkError(
+                        f"send between unregistered processes {src}->{dst}"
+                    )
+                uid += 1
+                msg = Message(
+                    src=src, dst=dst, tag=tag, payload=payload, size=size,
+                    sent_at=now, uid=uid,
+                )
+                msgs.append(msg)
+                self.messages_sent += 1
+                if observers:
+                    self._notify("send", msg)
+                faults.dropped_messages += 1
+                if observers:
+                    self._notify("drop", msg)
+            self._uid = uid
+            return msgs
+        cache = self._params_cache
+        netem = self.netem
+        props: List[float] = []
+        bandwidths: List[float] = []
+        for dst in dsts:
+            if dst not in endpoints:
+                raise NetworkError(
+                    f"send between unregistered processes {src}->{dst}"
+                )
+            uid += 1
+            msg = Message(
+                src=src, dst=dst, tag=tag, payload=payload, size=size,
+                sent_at=now, uid=uid,
+            )
+            msgs.append(msg)
+            self.messages_sent += 1
+            if observers:
+                self._notify("send", msg)
+            key = (src, dst)
+            params = cache.get(key)
+            if params is None:
+                params = netem.params_between(src, dst)
+                cache[key] = params
+            props.append(params.propagation_delay)
+            bandwidths.append(params.bandwidth_bps)
+        self._uid = uid
+        done_times = nic.transmit_batch(size + self.header_bytes, bandwidths)
+        if faults._armed:
+            schedule_call_at = sim.schedule_call_at
+            serialized = self._serialized
+            for i, msg in enumerate(msgs):
+                schedule_call_at(done_times[i], serialized, msg, props[i])
+        else:
+            # Same direct-delivery fast path as ``send``.
+            schedule_call_at = sim.schedule_call_at
+            deliver = self._deliver
+            for i, msg in enumerate(msgs):
+                schedule_call_at(done_times[i] + props[i], deliver, msg)
+        return msgs
+
+    def invalidate_links(
+        self, src: Optional[int] = None, dst: Optional[int] = None
+    ) -> int:
+        """Evict memoised link params for matching ``(src, dst)`` pairs.
+
+        The fabric memoises :meth:`Netem.params_between` per pair because
+        every shaper in the library is static -- but a reconfiguration that
+        swaps the shaper (see :mod:`repro.topology.reconfig`) breaks that
+        assumption, and must call this so no message is priced with stale
+        bandwidth or propagation values. ``None`` acts as a wildcard;
+        returns the number of evicted pairs.
+        """
+        cache = self._params_cache
+        if src is None and dst is None:
+            count = len(cache)
+            cache.clear()
+            return count
+        doomed = [
+            key for key in cache
+            if (src is None or key[0] == src) and (dst is None or key[1] == dst)
+        ]
+        for key in doomed:
+            del cache[key]
+        return len(doomed)
 
     def _deliver(self, msg: Message) -> None:
         faults = self.faults

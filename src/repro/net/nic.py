@@ -79,6 +79,18 @@ class Nic:
         (``math.inf``) serializes instantly -- used for the paper's
         "idealized infinite bandwidth" latency floor (§7.6).
         """
+        done = self.transmit_raw(size_bytes, bandwidth_bps)
+        self.sim.schedule_call_at(done, on_serialized)
+        return done
+
+    def transmit_raw(self, size_bytes: int, bandwidth_bps: float) -> float:
+        """:meth:`transmit` minus the completion event: charge the NIC and
+        return the completion time, leaving scheduling to the caller.
+
+        The fabric uses this to schedule its own handle-free completion
+        callbacks (one per message, carrying the precomputed propagation
+        delay) instead of a per-message closure.
+        """
         if size_bytes < 0:
             raise NetworkError(f"negative transmit size: {size_bytes}")
         if bandwidth_bps <= 0:
@@ -104,8 +116,63 @@ class Nic:
         heapq.heappush(inflight, done)
         if len(inflight) > self.max_queue_depth:
             self.max_queue_depth = len(inflight)
-        self.sim.schedule_at(done, on_serialized)
         return done
+
+    def transmit_batch(
+        self, size_bytes: int, bandwidths: List[float]
+    ) -> List[float]:
+        """Chain one ``size_bytes`` serialization per entry of ``bandwidths``
+        in a single pass; returns the per-message completion times.
+
+        This is the paper's §4.3 sending time made literal: a parent
+        multicasting a block to ``m`` children occupies its uplink for the
+        ``m`` serializations back-to-back. Every piece of NIC state (lane
+        choice, busy intervals, byte log, queue-depth high-water, counters)
+        is updated exactly as ``m`` sequential :meth:`transmit_raw` calls
+        in the same order would -- the multicast equivalence property test
+        pins this bit-for-bit.
+        """
+        if size_bytes < 0:
+            raise NetworkError(f"negative transmit size: {size_bytes}")
+        now = self.sim.now
+        lanes = self.lanes
+        busy = self._lane_busy_until
+        log = self._bytes_log
+        inflight = self._inflight_done
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        size_bits = size_bytes * 8.0
+        done_times: List[float] = []
+        max_backlog = self.max_backlog
+        max_depth = self.max_queue_depth
+        for bandwidth_bps in bandwidths:
+            if bandwidth_bps <= 0:
+                raise NetworkError(f"non-positive bandwidth: {bandwidth_bps}")
+            tx_time = 0.0 if math.isinf(bandwidth_bps) else size_bits / bandwidth_bps
+            lane = 0 if lanes == 1 else min(range(lanes), key=busy.__getitem__)
+            start = busy[lane]
+            if start < now:
+                start = now
+            done = start + tx_time
+            busy[lane] = done
+            self.bytes_sent += size_bytes
+            self.total_queueing_delay += start - now
+            self.total_tx_time += tx_time
+            if done - now > max_backlog:
+                max_backlog = done - now
+            if tx_time > 0.0:
+                self._record_busy(lane, start, done)
+            log.append((now, self.bytes_sent))
+            while inflight and inflight[0] <= now:
+                heappop(inflight)
+            heappush(inflight, done)
+            if len(inflight) > max_depth:
+                max_depth = len(inflight)
+            done_times.append(done)
+        self.messages_sent += len(done_times)
+        self.max_backlog = max_backlog
+        self.max_queue_depth = max_depth
+        return done_times
 
     def _record_busy(self, lane: int, start: float, end: float) -> None:
         intervals = self._lane_intervals[lane]

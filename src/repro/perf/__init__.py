@@ -1,17 +1,20 @@
 """Microbenchmark harness for the simulator's hot paths.
 
-``repro perf`` times the three paths that dominate wall-clock in large
-sweeps -- the event heap, cryptographic aggregation, and a full Kauri
-run -- and writes ``BENCH_core.json`` so the numbers accumulate across
-PRs and CI can fail on regressions (see ``benchmarks/perf/``).
+``repro perf`` times the paths that dominate wall-clock in large
+sweeps -- the event heap, cryptographic aggregation, the fabric
+multicast fast path, and full Kauri runs up to N = 400 -- and writes
+``BENCH_core.json`` so the numbers accumulate across PRs and CI can
+fail on regressions (see ``benchmarks/perf/``).
 """
 
 from repro.perf.micro import (
     BENCH_SCHEMA_NOTE,
+    GUARDED_BENCHES,
     BenchResult,
     bench_aggregation,
     bench_end_to_end,
     bench_event_loop,
+    bench_multicast_fanout,
     compare_to_baseline,
     load_results,
     run_benches,
@@ -21,9 +24,11 @@ from repro.perf.micro import (
 __all__ = [
     "BENCH_SCHEMA_NOTE",
     "BenchResult",
+    "GUARDED_BENCHES",
     "bench_aggregation",
     "bench_end_to_end",
     "bench_event_loop",
+    "bench_multicast_fanout",
     "compare_to_baseline",
     "load_results",
     "run_benches",

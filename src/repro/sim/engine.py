@@ -1,26 +1,41 @@
 """Event-heap simulator core.
 
-The :class:`Simulator` owns a virtual clock and a heap of scheduled
-callbacks. Everything else in the library (network links, CPUs, protocol
-state machines) is built on top of :meth:`Simulator.schedule`.
+The :class:`Simulator` owns a virtual clock and three event stores that
+together hold every scheduled callback. Everything else in the library
+(network links, CPUs, protocol state machines) is built on top of the
+``schedule*`` family.
 
-The simulator is single-threaded and deterministic: events scheduled for the
-same instant fire in scheduling order (FIFO), enforced by a sequence counter.
+The simulator is single-threaded and deterministic: events scheduled for
+the same instant fire in scheduling order (FIFO), enforced by a global
+sequence counter. The three stores exist purely so each scheduling pattern
+pays only for what it needs -- the merged firing order is always exactly
+``(time, seq)``, as if everything lived on one heap:
 
-Heap entries are ``(time, seq, handle)`` tuples, not handles: ``heapq``
-then compares plain tuples C-level instead of dispatching to
-``EventHandle.__lt__`` on every sift, which dominates the event-loop
-profile at sweep scale (see ``repro perf``). ``(time, seq)`` is unique per
-entry, so the handle itself is never compared.
+- **Heap** -- the general store. Entries are plain tuples, either
+  ``(time, seq, handle)`` for cancellable events or handle-free
+  ``(time, seq, fn, args)`` for the fire-and-forget callbacks the network
+  fabric schedules per message (``seq`` is unique, so ``heapq`` never
+  compares beyond it).
+- **Now-queue** -- a FIFO for :meth:`Simulator.schedule_now`: zero-delay,
+  never-cancelled continuations (task wakeups, signal deliveries). These
+  are appended in ``(time, seq)`` order by construction, so a deque
+  replaces O(log n) heap traffic with O(1) appends/pops.
+- **Timer wheel** -- :mod:`repro.sim.wheel`, behind
+  :meth:`Simulator.schedule_timeout`: timeouts that are overwhelmingly
+  cancelled (pacemaker watchdogs, impatient receives) park in hashed time
+  slots where cancellation is one dict delete; only survivors are flushed
+  into the heap, carrying their original ``(time, seq)``.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
 
 from repro.errors import SimulationError
+from repro.sim.wheel import TimeoutHandle, TimerWheel
 
 
 class EventHandle:
@@ -61,9 +76,6 @@ class EventHandle:
         if self._sim is not None:
             self._sim._note_cancelled()
 
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
         return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
@@ -90,7 +102,11 @@ class Simulator:
         self.rng = random.Random(seed)
         self.strict = strict
         self.failures: List[BaseException] = []
-        self._heap: List[tuple] = []  # (time, seq, EventHandle)
+        #: (time, seq, handle) or handle-free (time, seq, fn, args) tuples.
+        self._heap: List[tuple] = []
+        #: Zero-delay raw entries (time, seq, fn, args), FIFO == (time, seq).
+        self._now_queue: Deque[tuple] = deque()
+        self._wheel = TimerWheel(self)
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -125,13 +141,68 @@ class Simulator:
         self._pending += 1
         return handle
 
+    def schedule_call(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Handle-free :meth:`schedule`: no cancellation, no ``EventHandle``.
+
+        For fire-and-forget callbacks on hot paths (message deliveries,
+        serialization completions) where allocating and tracking a handle
+        is pure overhead. Firing order is identical to :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+        self._pending += 1
+
+    def schedule_call_at(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """Handle-free :meth:`schedule_at` (see :meth:`schedule_call`)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+        self._pending += 1
+
+    def schedule_now(self, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` at the current instant, after already-scheduled
+        same-instant events (plain FIFO semantics, like ``schedule(0.0, ...)``).
+
+        Handle-free and heap-free: entries go on a deque that is ordered by
+        construction (time never decreases, ``seq`` increases), the natural
+        fit for task wakeups and signal deliveries -- continuations that are
+        never cancelled and almost always fire immediately.
+        """
+        self._seq += 1
+        self._now_queue.append((self.now, self._seq, fn, args))
+        self._pending += 1
+
+    def schedule_timeout(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> TimeoutHandle:
+        """Schedule a *probably-cancelled* callback ``delay`` seconds out.
+
+        Same contract as :meth:`schedule` (returns a cancellable handle,
+        fires in exact ``(time, seq)`` order), but the timer parks in the
+        :class:`~repro.sim.wheel.TimerWheel`: cancelling it while parked is
+        one dict delete instead of a lazy heap tombstone. Use for watchdogs
+        and receive deadlines; use :meth:`schedule` for events expected to
+        fire.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        handle = TimeoutHandle(self.now + delay, self._seq, fn, args, self._wheel)
+        self._wheel.insert(handle)
+        self._pending += 1
+        return handle
+
     def _note_cancelled(self) -> None:
-        """Bookkeeping hook for :meth:`EventHandle.cancel`.
+        """Bookkeeping hook for lazy (in-heap) cancellations.
 
         Keeps :attr:`pending_events` O(1) and compacts the heap when
-        cancelled entries exceed half of it -- lazy-cancellation hygiene for
-        long pacemaker-heavy runs, where timers are overwhelmingly cancelled
-        rather than fired.
+        cancelled entries exceed half of it -- hygiene for runs that cancel
+        heap-resident events faster than they pop.
         """
         self._pending -= 1
         self._cancelled_in_heap += 1
@@ -143,64 +214,169 @@ class Simulator:
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify (pop order is unchanged:
-        entries are strictly ordered by (time, seq))."""
-        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        entries are strictly ordered by (time, seq)). Handle-free entries
+        cannot be cancelled and are always kept."""
+        # In place: run() holds a local alias to the heap list across
+        # callbacks, so the list object must never be replaced.
+        self._heap[:] = [
+            entry for entry in self._heap if len(entry) == 4 or not entry[2].cancelled
+        ]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _next_entry(self, pop: bool):
+        """The next live entry across heap, now-queue and wheel, or ``None``.
+
+        Drains lazily-cancelled heap tombstones on the way and flushes due
+        wheel slots into the heap, so the returned entry is globally next
+        in ``(time, seq)`` order.
+        """
+        heap = self._heap
+        queue = self._now_queue
+        wheel = self._wheel
+        while True:
+            head = queue[0] if queue else None
+            top = heap[0] if heap else None
+            # Tuple comparison decides on (time, seq); seq is unique, so the
+            # heterogeneous third elements are never compared.
+            from_heap = top is not None and (head is None or top < head)
+            if from_heap:
+                head = top
+            if wheel._due:
+                # A due slot may hold a timer ordered before `head`.
+                limit = wheel._next_due if head is None else head[0]
+                if wheel._next_due <= limit:
+                    wheel.flush_due(limit)
+                    continue
+            if head is None:
+                return None
+            if from_heap:
+                if len(head) == 3 and head[2].cancelled:
+                    heapq.heappop(heap)
+                    self._cancelled_in_heap -= 1
+                    continue
+                if pop:
+                    heapq.heappop(heap)
+            elif pop:
+                queue.popleft()
+            return head
+
+    def _fire(self, entry: tuple) -> None:
+        """Advance the clock to ``entry`` and run its callback."""
+        time = entry[0]
+        if time < self.now:
+            raise SimulationError("event heap went backwards in time")
+        self.now = time
+        self._pending -= 1
+        self._events_processed += 1
+        if len(entry) == 4:
+            fn = entry[2]
+            args = entry[3]
+        else:
+            handle = entry[2]
+            handle.fired = True
+            fn = handle.fn
+            args = handle.args
+            handle.fn = None
+            handle.args = ()
+        try:
+            fn(*args)
+        except Exception as exc:
+            if self.strict:
+                raise
+            self.failures.append(exc)
+
     def step(self) -> bool:
         """Run the next pending event. Returns ``False`` if none fired
-        (the heap was empty or held only cancelled entries)."""
-        heap = self._heap
-        while heap:
-            time, _seq, handle = heapq.heappop(heap)
-            if handle.cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            if time < self.now:
-                raise SimulationError("event heap went backwards in time")
-            self.now = time
-            handle.fired = True
-            self._pending -= 1
-            fn, args = handle.fn, handle.args
-            handle.fn, handle.args = None, ()
-            self._events_processed += 1
-            try:
-                fn(*args)  # type: ignore[misc]
-            except Exception as exc:
-                if self.strict:
-                    raise
-                self.failures.append(exc)
-            return True
-        return False
+        (every store was empty or held only cancelled entries)."""
+        entry = self._next_entry(pop=True)
+        if entry is None:
+            return False
+        self._fire(entry)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run events until the heap drains, ``until`` is reached, or stopped.
+        """Run events until every store drains, ``until`` is reached, or
+        :meth:`stop` is called.
 
         ``until`` advances the clock to exactly ``until`` even if no event
         fires there, matching the common "simulate T seconds" usage.
+        ``max_events`` counts only events that actually fired: draining
+        lazily cancelled entries never consumes the budget.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stopped = False
         processed = 0
+        # The loop below is `step()` (`_next_entry` + `_fire`) unrolled into
+        # one frame: at ~100k+ events per run the two call frames per event
+        # are the single largest fixed cost. The aliases are safe because
+        # nothing rebinds these attributes mid-run (`_compact` mutates the
+        # heap list in place).
+        heap = self._heap
+        queue = self._now_queue
+        wheel = self._wheel
+        heappop = heapq.heappop
         try:
-            while self._heap and not self._stopped:
-                time, _seq, handle = self._heap[0]
-                if handle.cancelled:
-                    heapq.heappop(self._heap)
-                    self._cancelled_in_heap -= 1
-                    continue
-                if until is not None and time > until:
+            while not self._stopped:
+                # -- select: merged (time, seq) order across all stores.
+                head = queue[0] if queue else None
+                top = heap[0] if heap else None
+                # Tuple comparison decides on (time, seq); seq is unique,
+                # so the heterogeneous third elements are never compared.
+                from_heap = top is not None and (head is None or top < head)
+                if from_heap:
+                    head = top
+                if wheel._due:
+                    # A due slot may hold a timer ordered before `head`.
+                    limit = wheel._next_due if head is None else head[0]
+                    if wheel._next_due <= limit:
+                        wheel.flush_due(limit)
+                        continue
+                if head is None:
                     break
-                # Count only events that actually fired: draining lazily
-                # cancelled entries must not consume the max_events budget.
-                if self.step():
-                    processed += 1
+                if from_heap:
+                    raw = len(head) == 4
+                    if not raw and head[2].cancelled:
+                        heappop(heap)
+                        self._cancelled_in_heap -= 1
+                        continue
+                else:
+                    raw = True
+                if until is not None and head[0] > until:
+                    break
+                if from_heap:
+                    heappop(heap)
+                else:
+                    queue.popleft()
+                # -- fire.
+                time = head[0]
+                if time < self.now:
+                    raise SimulationError("event heap went backwards in time")
+                self.now = time
+                self._pending -= 1
+                self._events_processed += 1
+                if raw:
+                    fn = head[2]
+                    args = head[3]
+                else:
+                    handle = head[2]
+                    handle.fired = True
+                    fn = handle.fn
+                    args = handle.args
+                    handle.fn = None
+                    handle.args = ()
+                try:
+                    fn(*args)
+                except Exception as exc:
+                    if self.strict:
+                        raise
+                    self.failures.append(exc)
+                processed += 1
                 if max_events is not None and processed >= max_events:
                     break
             if until is not None and not self._stopped and self.now < until:
@@ -218,7 +394,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of non-cancelled events still scheduled (O(1): maintained
-        as a live counter instead of scanning the heap)."""
+        as a live counter instead of scanning the stores)."""
         return self._pending
 
     @property

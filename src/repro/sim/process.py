@@ -24,6 +24,7 @@ from typing import Any, Callable, Generator, List, Optional, Union
 
 from repro.errors import SimulationError, TaskCancelled
 from repro.sim.engine import EventHandle, Simulator
+from repro.sim.wheel import TimeoutHandle
 
 
 class _Timeout:
@@ -147,10 +148,10 @@ class Task:
         self.exception: Optional[BaseException] = None
         self._gen = gen
         self._done_signal = Signal()
-        self._pending_timer: Optional[EventHandle] = None
+        self._pending_timer: Optional[Union[EventHandle, TimeoutHandle]] = None
         self._pending_unsub: Optional[Callable[[], None]] = None
         self._wait_token = 0
-        sim.schedule(0.0, self._step, self._wait_token, "send", None)
+        sim.schedule_now(self._step, self._wait_token, "send", None)
 
     # ------------------------------------------------------------------
     def _clear_wait(self) -> None:
@@ -199,28 +200,30 @@ class Task:
             self._install_join(request, token)
         else:
             err = SimulationError(f"task {self.name!r} yielded {request!r}")
-            self.sim.schedule(0.0, self._step, token, "throw", err)
+            self.sim.schedule_now(self._step, token, "throw", err)
 
     def _install_signal_wait(
         self, signal: Signal, timeout: Optional[float], token: int
     ) -> None:
         if signal.fired:
-            self.sim.schedule(0.0, self._step, token, "send", signal.value)
+            self.sim.schedule_now(self._step, token, "send", signal.value)
             return
         self._pending_unsub = signal.add_waiter(
-            lambda value: self.sim.schedule(0.0, self._step, token, "send", value)
+            lambda value: self.sim.schedule_now(self._step, token, "send", value)
         )
         if timeout is not None:
-            self._pending_timer = self.sim.schedule(
+            # Receive deadlines are overwhelmingly cancelled (the signal
+            # fires first), so they park in the timer wheel.
+            self._pending_timer = self.sim.schedule_timeout(
                 timeout, self._step, token, "send", TIMEOUT
             )
 
     def _install_join(self, other: "Task", token: int) -> None:
         def wake(_value: Any) -> None:
             if other.exception is not None:
-                self.sim.schedule(0.0, self._step, token, "throw", other.exception)
+                self.sim.schedule_now(self._step, token, "throw", other.exception)
             else:
-                self.sim.schedule(0.0, self._step, token, "send", other.result)
+                self.sim.schedule_now(self._step, token, "send", other.result)
 
         if other.done:
             wake(None)
@@ -247,8 +250,8 @@ class Task:
             return
         self._clear_wait()
         self._wait_token += 1  # invalidate any in-flight wakeups
-        self.sim.schedule(
-            0.0, self._step, self._wait_token, "throw", TaskCancelled(self.name)
+        self.sim.schedule_now(
+            self._step, self._wait_token, "throw", TaskCancelled(self.name)
         )
 
     @property

@@ -1,0 +1,185 @@
+"""Hierarchical timer wheel for overwhelmingly-cancelled timeouts.
+
+Pacemaker watchdogs and impatient-receive deadlines share one fate: almost
+every one of them is cancelled long before it would fire (progress restarts
+the watchdog; the expected message arrives before Δ). Parking them on the
+main event heap makes each cancellation a lazy tombstone that the heap must
+later pop (or a compaction sweep must filter), so a pacemaker-heavy run
+pays O(log n) heap traffic per timer that never fires.
+
+The :class:`TimerWheel` keeps such timers off the heap entirely. Timers
+hash into fixed-width time slots (plain dicts keyed by sequence number), so
+
+- ``cancel`` while parked is one dict delete -- O(1), no tombstone;
+- only timers that *survive* until their slot comes due ever touch the
+  event heap, carrying their original ``(time, seq)`` so the simulator's
+  firing order is bit-identical to heap-only scheduling.
+
+Slots are hierarchical (widths grow by 64x per level): a 10 s pacemaker
+timeout first parks in a coarse slot and only cascades into a fine slot --
+or the heap -- if it is still alive when its coarse slot comes due, which
+for watchdogs is almost never. Slot widths are powers of two, so computing
+a slot index from a float time is exact (no rounding drift).
+
+The wheel is an implementation detail of
+:meth:`repro.sim.engine.Simulator.schedule_timeout`; the simulator flushes
+due slots into its heap before selecting the next event, which is what
+keeps the merged order exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Dict, List, Tuple
+
+#: Slot widths per level, seconds. Powers of two keep ``time / width``
+#: exact in binary floating point; consecutive levels differ by 64x, so a
+#: timer cascades through at most ``len(_WIDTHS) - 1`` slots in its life.
+_WIDTHS = (2.0 ** -8, 2.0 ** -2, 2.0 ** 4, 2.0 ** 10)
+_INVERSE = tuple(1.0 / w for w in _WIDTHS)
+#: Upper (exclusive) delay bound for parking at each level: one full span
+#: of the next-coarser level.
+_BOUNDS = (_WIDTHS[1], _WIDTHS[2], _WIDTHS[3])
+
+
+class TimeoutHandle:
+    """Cancellation handle for a wheel-scheduled timeout.
+
+    Same introspection surface as :class:`repro.sim.engine.EventHandle`
+    (``time``/``seq``/``cancelled``/``fired``/``cancel()``), so callers can
+    hold either interchangeably. While the timer is parked in a wheel slot,
+    ``cancel`` removes it outright (one dict delete); once the slot has
+    been flushed into the simulator's heap, cancellation falls back to the
+    heap's lazy-tombstone protocol.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "_wheel", "_slot")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        wheel: "TimerWheel",
+    ):
+        self.time = time
+        self.seq = seq
+        self.fn: Any = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self._wheel = wheel
+        self._slot: Any = None  # owning slot dict while parked in the wheel
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; idempotent, no-op if fired."""
+        if self.cancelled or self.fired:
+            return
+        self.cancelled = True
+        self.fn = None  # break reference cycles early
+        self.args = ()
+        slot = self._slot
+        if slot is not None:
+            # Parked: remove from the wheel, never reaches the heap.
+            del slot[self.seq]
+            self._slot = None
+            wheel = self._wheel
+            wheel._count -= 1
+            wheel._sim._pending -= 1
+        else:
+            # Already flushed into the main heap: lazy-cancel there.
+            self._wheel._sim._note_cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        where = "wheel" if self._slot is not None else "heap"
+        return f"TimeoutHandle(t={self.time:.6f}, seq={self.seq}, {state}, {where})"
+
+
+class TimerWheel:
+    """Sparse hierarchical timer wheel feeding one simulator's event heap."""
+
+    __slots__ = ("_sim", "_levels", "_due", "_next_due", "_count")
+
+    def __init__(self, sim: Any):
+        self._sim = sim
+        #: Per level: {slot index: {seq: handle}}. Slot dicts are created on
+        #: first use; a slot dict existing implies exactly one entry for it
+        #: in :attr:`_due` (cancellations may leave it empty, never absent).
+        self._levels: List[Dict[int, Dict[int, TimeoutHandle]]] = [
+            {} for _ in _WIDTHS
+        ]
+        #: Heap of (slot start, level, slot index) for every live slot.
+        self._due: List[Tuple[float, int, int]] = []
+        #: Cached ``self._due[0][0]`` (or +inf) -- the simulator polls this
+        #: before every event, so it must be one attribute load.
+        self._next_due = math.inf
+        #: Timers currently parked (not yet flushed, not cancelled).
+        self._count = 0
+
+    @staticmethod
+    def _level_for(delay: float) -> int:
+        if delay < _BOUNDS[0]:
+            return 0
+        if delay < _BOUNDS[1]:
+            return 1
+        if delay < _BOUNDS[2]:
+            return 2
+        return 3
+
+    def insert(self, handle: TimeoutHandle) -> None:
+        """Park ``handle`` in the slot covering its deadline."""
+        self._put(self._level_for(handle.time - self._sim.now), handle)
+        self._count += 1
+
+    def _put(self, level: int, handle: TimeoutHandle) -> None:
+        index = int(handle.time * _INVERSE[level])
+        slots = self._levels[level]
+        slot = slots.get(index)
+        if slot is None:
+            slot = slots[index] = {}
+            start = index * _WIDTHS[level]
+            heapq.heappush(self._due, (start, level, index))
+            if start < self._next_due:
+                self._next_due = start
+        slot[handle.seq] = handle
+        handle._slot = slot
+
+    def flush_due(self, limit: float) -> None:
+        """Empty every slot starting at or before ``limit``.
+
+        Survivors in a due fine (level-0) slot move to the simulator's heap
+        as plain ``(time, seq, handle)`` entries -- their original firing
+        key, so merged pop order is unchanged. Survivors in a coarser due
+        slot cascade to a strictly finer level when their remaining delay
+        allows, and go straight to the heap otherwise (which also bounds
+        the work when the simulator jumps far ahead in one step).
+        """
+        sim = self._sim
+        due = self._due
+        heap = sim._heap
+        push = heapq.heappush
+        while due and due[0][0] <= limit:
+            _start, level, index = heapq.heappop(due)
+            slot = self._levels[level].pop(index)
+            if not slot:
+                continue  # fully cancelled while parked
+            now = sim.now
+            for handle in slot.values():
+                if level:
+                    new_level = self._level_for(handle.time - now)
+                    if new_level < level:
+                        self._put(new_level, handle)
+                        continue
+                handle._slot = None
+                push(heap, (handle.time, handle.seq, handle))
+                self._count -= 1
+        self._next_due = due[0][0] if due else math.inf
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimerWheel(parked={self._count}, next_due={self._next_due})"

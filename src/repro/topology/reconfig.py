@@ -24,12 +24,29 @@ A ``star`` policy (HotStuff itself) rotates the star leader every view.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.errors import TopologyError
 from repro.topology.bins import BinPartition
 from repro.topology.builder import build_star, build_tree, tree_level_sizes
 from repro.topology.tree import Tree
+
+
+def swap_scenario(network: Any, netem: Any) -> int:
+    """Install a new network shaper mid-run (environment reconfiguration).
+
+    The §7.10 experiments change *topology* per view, which needs no fabric
+    cooperation -- but harnesses that change the *environment* (e.g. a WAN
+    scenario degrading mid-run) must go through here: the fabric memoises
+    per-pair link params on the assumption that its shaper is static, so
+    swapping ``network.netem`` directly would leave every already-priced
+    pair on the old scenario's bandwidth and propagation values.
+
+    Returns the number of evicted pairs (see
+    :meth:`repro.net.network.Network.invalidate_links`).
+    """
+    network.netem = netem
+    return network.invalidate_links()
 
 
 class ReconfigurationPolicy:

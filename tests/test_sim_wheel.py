@@ -1,0 +1,174 @@
+"""Timer wheel and merged-event-store semantics.
+
+`schedule_timeout` parks timers in the wheel (`repro.sim.wheel`) instead of
+the event heap, but the observable contract must stay exactly that of
+`schedule`: firing at the precise requested time, global FIFO order for
+same-instant events across *all* scheduling primitives, and exact
+`pending_events` accounting. Cancellation is the whole point: while parked
+it must be O(1) removal with no heap tombstone.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.wheel import _WIDTHS, TimerWheel
+
+
+class TestFiringSemantics:
+    def test_fires_at_exact_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_timeout(0.35, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.35]
+
+    def test_same_instant_fifo_across_all_primitives(self):
+        """schedule / schedule_timeout / schedule_call / schedule_now at one
+        instant fire in scheduling order, regardless of backing store."""
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "heap-1")
+        sim.schedule_timeout(1.0, order.append, "wheel-1")
+        sim.schedule_call(1.0, order.append, "raw-1")
+        sim.schedule_timeout(1.0, order.append, "wheel-2")
+        sim.schedule(1.0, order.append, "heap-2")
+        # A zero-delay continuation scheduled *from* an event at t=1.0 runs
+        # after everything already scheduled for t=1.0.
+        sim.schedule(1.0, lambda: sim.schedule_now(order.append, "now-1"))
+        sim.run()
+        assert order == ["heap-1", "wheel-1", "raw-1", "wheel-2", "heap-2", "now-1"]
+
+    def test_timeout_before_later_heap_event(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "late")
+        sim.schedule_timeout(1.0, order.append, "timeout")
+        sim.run()
+        assert order == ["timeout", "late"]
+
+    def test_long_delay_cascades_and_fires_once(self):
+        """A coarse-level timer cascades through finer slots and still fires
+        exactly once, at exactly its deadline."""
+        sim = Simulator()
+        fired = []
+        sim.schedule_timeout(100.0, lambda: fired.append(sim.now))
+        # Periodic nearer events force slot-by-slot progression.
+        def tick():
+            if sim.now < 200.0:
+                sim.schedule(7.0, tick)
+        tick()
+        sim.run()
+        assert fired == [100.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_timeout(-0.1, lambda: None)
+
+    def test_run_until_then_resume(self):
+        """Timers parked past an `until` checkpoint survive into later runs."""
+        sim = Simulator()
+        fired = []
+        sim.schedule_timeout(5.0, lambda: fired.append(sim.now))
+        sim.run(until=1.0)
+        assert fired == [] and sim.now == 1.0
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == [5.0]
+
+
+class TestCancellation:
+    def test_cancel_while_parked_is_wheel_removal(self):
+        sim = Simulator()
+        handle = sim.schedule_timeout(10.0, lambda: pytest.fail("fired"))
+        assert sim.pending_events == 1
+        assert len(sim._wheel) == 1
+        handle.cancel()
+        assert handle.cancelled
+        assert sim.pending_events == 0
+        assert len(sim._wheel) == 0
+        # No heap tombstone: the timer never existed outside the wheel.
+        assert sim._cancelled_in_heap == 0 and not sim._heap
+        sim.run()
+
+    def test_cancel_after_flush_is_lazy_heap_cancel(self):
+        """A same-slot earlier event flushes the timer into the heap; a
+        cancellation after that point takes the tombstone path."""
+        sim = Simulator()
+        handle = sim.schedule_timeout(1.002, lambda: pytest.fail("fired"))
+        width = _WIDTHS[0]
+        assert int(1.002 / width) == int(1.0001 / width)  # same fine slot
+        sim.schedule(1.0001, handle.cancel)
+        sim.run()
+        assert handle.cancelled and not handle.fired
+        assert sim.pending_events == 0
+
+    def test_cancel_idempotent_and_postfire_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_timeout(0.5, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True] and handle.fired
+        handle.cancel()  # no-op
+        assert not handle.cancelled
+        gone = sim.schedule_timeout(1.0, lambda: None)
+        gone.cancel()
+        gone.cancel()  # idempotent
+        assert sim.pending_events == 0
+
+    def test_restart_heavy_pattern_leaves_no_debris(self):
+        """The pacemaker pattern: thousands of arm/cancel cycles leave the
+        wheel, heap and pending counter all empty."""
+        sim = Simulator()
+
+        def cycle(remaining):
+            handle = sim.schedule_timeout(0.35, lambda: pytest.fail("stalled"))
+            def progress():
+                handle.cancel()
+                if remaining:
+                    cycle(remaining - 1)
+            sim.schedule(0.01, progress)
+
+        cycle(2000)
+        sim.run()
+        assert sim.pending_events == 0
+        assert len(sim._wheel) == 0
+        assert not sim._heap and not sim._now_queue
+
+
+class TestWheelInternals:
+    def test_level_placement_boundaries(self):
+        assert TimerWheel._level_for(0.0) == 0
+        assert TimerWheel._level_for(_WIDTHS[1] - 1e-9) == 0
+        assert TimerWheel._level_for(_WIDTHS[1]) == 1
+        assert TimerWheel._level_for(_WIDTHS[2]) == 2
+        assert TimerWheel._level_for(_WIDTHS[3]) == 3
+        assert TimerWheel._level_for(math.inf) == 3
+
+    def test_widths_are_exact_powers_of_two(self):
+        for width in _WIDTHS:
+            mantissa, _ = math.frexp(width)
+            assert mantissa == 0.5  # exact power of two
+
+
+class TestAccounting:
+    def test_events_processed_counts_wheel_fires(self):
+        sim = Simulator()
+        sim.schedule_timeout(0.1, lambda: None)
+        sim.schedule(0.2, lambda: None)
+        sim.schedule_call(0.3, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_max_events_budget_spans_stores(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_timeout(0.1, order.append, "a")
+        sim.schedule(0.2, order.append, "b")
+        sim.schedule_call(0.3, order.append, "c")
+        sim.run(max_events=2)
+        assert order == ["a", "b"]
+        assert sim.pending_events == 1
