@@ -18,6 +18,7 @@ from repro.analysis.figures import (
     RED_CIRCLE,
     adaptive_duration,
     fig5_stretch_sweep,
+    fig6_kudzu_headtohead,
     fig6_scenarios,
     saturation_marker,
     fig7_rtt_sweep,
@@ -40,6 +41,7 @@ __all__ = [
     "RED_CIRCLE",
     "adaptive_duration",
     "fig5_stretch_sweep",
+    "fig6_kudzu_headtohead",
     "fig6_scenarios",
     "saturation_marker",
     "fig7_rtt_sweep",

@@ -153,6 +153,32 @@ def fig6_scenarios(
     return _runner(jobs, use_cache).run(specs)
 
 
+def fig6_kudzu_headtohead(
+    scenarios: Sequence[str] = ("national", "global"),
+    ns: Sequence[int] = (31, 100),
+    scale: float = 1.0,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    use_cache: bool = False,
+    observability: bool = False,
+) -> List[ExperimentResult]:
+    """Fig. 6-style head-to-head of the protocol zoo's star contenders:
+    Kauri (tree, pipelined) vs HotStuff-bls (star, chained) vs Kudzu (star,
+    chained, optimistic single-round fast path). One sweep command; the
+    Kudzu rows carry ``fast_commits``/``fast_fallbacks`` so the fast-path
+    engagement is visible next to the throughput numbers."""
+    return fig6_scenarios(
+        scenarios=scenarios,
+        ns=ns,
+        modes=("kauri", "hotstuff-bls", "kudzu"),
+        scale=scale,
+        seed=seed,
+        jobs=jobs,
+        use_cache=use_cache,
+        observability=observability,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Figure 7: throughput vs RTT (§7.5)
 # ---------------------------------------------------------------------------

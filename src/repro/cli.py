@@ -33,13 +33,16 @@ from typing import List, Optional
 
 from repro.analysis import format_table
 from repro.config import KB, SCENARIOS, ProtocolConfig, resilientdb_clusters
+from repro.core.modes import MODES
+
+#: Every registered mode, straight from the registry -- adding a ModeSpec
+#: automatically surfaces it in ``run``/``report`` and in ``repro modes``.
+MODE_CHOICES = sorted(MODES)
 
 
 def _add_run_parser(subparsers) -> None:
     p = subparsers.add_parser("run", help="run one deployment")
-    p.add_argument("--mode", default="kauri",
-                   choices=["kauri", "kauri-np", "kauri-secp",
-                            "hotstuff-secp", "hotstuff-bls", "pbft"])
+    p.add_argument("--mode", default="kauri", choices=MODE_CHOICES)
     p.add_argument("--scenario", default="global",
                    choices=[*SCENARIOS, "heterogeneous"])
     p.add_argument("--n", type=int, default=100)
@@ -100,6 +103,9 @@ def _cmd_run(args) -> int:
     print(f"latency    : p50 {result.latency['p50']:.3f}s, "
           f"p95 {result.latency['p95']:.3f}s")
     print(f"view changes: {result.view_changes} (max view {result.max_view})")
+    if result.fast_commits or result.fast_fallbacks:
+        print(f"fast path  : {result.fast_commits} fast commits, "
+              f"{result.fast_fallbacks} fallbacks")
     if result.cpu_saturated:
         print("NOTE: leader CPU saturated "
               f"(utilization {result.leader_cpu_utilization:.0%})")
@@ -224,7 +230,29 @@ def _cmd_table(args) -> int:
     return 0
 
 
-FIG_CHOICES = ["3", "5", "7", "8", "9", "10", "11", "12a", "12b", "12c"]
+def _add_modes_parser(subparsers) -> None:
+    subparsers.add_parser(
+        "modes", help="list the registered protocol modes"
+    )
+
+
+def _cmd_modes(args) -> int:
+    from repro.core.modes import PROTOCOLS
+
+    rows = [
+        (spec.name, spec.topology, spec.scheme, spec.pacing, spec.protocol,
+         PROTOCOLS[spec.protocol]["kind"])
+        for _, spec in sorted(MODES.items())
+    ]
+    print(format_table(
+        ("Mode", "Topology", "Scheme", "Pacing", "Protocol", "Kind"),
+        rows,
+        title="Registered modes",
+    ))
+    return 0
+
+
+FIG_CHOICES = ["3", "5", "6", "7", "8", "9", "10", "11", "12a", "12b", "12c"]
 
 
 def _add_engine_args(p) -> None:
@@ -272,6 +300,25 @@ def _cmd_fig(args) -> int:
             spans = extract_spans(trace, cluster.policy.leader_of(0))
             print(f"\n--- {mode} (peak in-flight: {max_concurrency(spans)}) ---")
             print(render_gantt(spans[2:], max_rows=8))
+        return 0
+    if args.figure == "6":
+        from repro.analysis import fig6_kudzu_headtohead, saturation_marker
+
+        results = fig6_kudzu_headtohead(scale=scale, **engine)
+        rows = [
+            (r.mode, r.scenario, r.n,
+             round(r.throughput_txs / 1000, 2),
+             round(r.latency["p50"] * 1000, 0),
+             r.fast_commits or "",
+             saturation_marker(r))
+            for r in results
+        ]
+        print(format_table(
+            ("System", "Scenario", "N", "Ktx/s", "p50 lat (ms)",
+             "Fast commits", "CPU"),
+            rows,
+            title="Figure 6: Kauri vs HotStuff-bls vs Kudzu",
+        ))
         return 0
     if args.figure == "5":
         data = fig5_stretch_sweep(scale=scale, **engine)
@@ -484,9 +531,7 @@ def _add_report_parser(subparsers) -> None:
         "report",
         help="run one deployment with observability on; emit RunReport JSON",
     )
-    p.add_argument("--mode", default="kauri",
-                   choices=["kauri", "kauri-np", "kauri-secp",
-                            "hotstuff-secp", "hotstuff-bls", "pbft"])
+    p.add_argument("--mode", default="kauri", choices=MODE_CHOICES)
     p.add_argument("--scenario", default="global",
                    choices=[*SCENARIOS, "heterogeneous"])
     p.add_argument("--n", type=int, default=100)
@@ -551,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_run_parser(subparsers)
+    _add_modes_parser(subparsers)
     _add_model_parser(subparsers)
     _add_tune_parser(subparsers)
     _add_table_parser(subparsers)
@@ -566,6 +612,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "modes": _cmd_modes,
         "model": _cmd_model,
         "tune": _cmd_tune,
         "table": _cmd_table,

@@ -35,6 +35,7 @@ from typing import Any, Callable, List, Optional, Set, Tuple
 from repro.config import ProtocolConfig, quorum_size
 from repro.consensus.block import Block, BlockStore
 from repro.consensus.pacemaker import Pacemaker
+from repro.consensus.tags import is_stale_tag, newview_tag, prop_tag, vote_tag
 from repro.consensus.vote import Phase, vote_value
 from repro.core.modes import ModeSpec
 from repro.core.perfmodel import PROPOSAL_OVERHEAD, PerfModel
@@ -47,16 +48,13 @@ from repro.topology.reconfig import ReconfigurationPolicy
 from repro.topology.tree import Tree
 
 
-def _preprepare_tag(view: int) -> Tuple:
-    return ("prop", view)  # shares the purge namespace with the tree node
-
-
-def _pbft_vote_tag(view: int, height: int, phase: str) -> Tuple:
-    return ("vote", view, height, phase)
-
-
-def _viewchange_tag(view: int) -> Tuple:
-    return ("newview", view)
+# PBFT reuses the shared wire-tag vocabulary (repro.consensus.tags): its
+# pre-prepare is a "prop", its all-to-all votes are "vote"s, and its
+# view-change report rides the "newview" tag -- so the shared stale-tag
+# purge applies uniformly.
+_preprepare_tag = prop_tag
+_pbft_vote_tag = vote_tag
+_viewchange_tag = newview_tag
 
 
 class PbftNode:
@@ -156,13 +154,7 @@ class PbftNode:
         self._view_tasks.clear()
         self.view = view
         self.model = self.model_factory(self.policy.configuration(view))
-        self.endpoint.purge(
-            lambda tag: isinstance(tag, tuple)
-            and len(tag) >= 2
-            and tag[0] in ("prop", "vote", "newview")
-            and isinstance(tag[1], int)
-            and tag[1] < view
-        )
+        self.endpoint.purge(lambda tag: is_stale_tag(tag, view))
         assert self.pacemaker is not None
         self.pacemaker.base_timeout = self.model.suggested_timeout(
             self.config.base_timeout

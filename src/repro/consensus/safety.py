@@ -74,12 +74,25 @@ class SafetyRules:
         if qc.phase is Phase.PRECOMMIT and qc.newer_than(self.locked_qc):
             self.locked_qc = qc
 
+    def observe_fast_qc(self, qc: QuorumCert) -> None:
+        """A Kudzu fast certificate commits in one round, so it subsumes
+        both the prepare and the lock state: it becomes the high QC relayed
+        in new-view messages and the lock no later proposal may cross."""
+        if qc.phase is not Phase.FAST:
+            return
+        if qc.newer_than(self.high_prepare_qc):
+            self.high_prepare_qc = qc
+        if qc.newer_than(self.locked_qc):
+            self.locked_qc = qc
+
     def observe_qc(self, qc: QuorumCert) -> None:
         """Dispatch on phase."""
         if qc.phase is Phase.PREPARE:
             self.observe_prepare_qc(qc)
         elif qc.phase is Phase.PRECOMMIT:
             self.observe_precommit_qc(qc)
+        elif qc.phase is Phase.FAST:
+            self.observe_fast_qc(qc)
 
     @property
     def locked_block_hash(self) -> str:

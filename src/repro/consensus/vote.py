@@ -18,8 +18,12 @@ from repro.errors import ConsensusError
 
 
 class Phase(enum.Enum):
-    """The four rounds of one consensus instance (§3.1)."""
+    """The four rounds of one consensus instance (§3.1), plus the optional
+    single-round optimistic phase used by the Kudzu fast path (a ``FAST``
+    quorum commits in one round; on a miss the protocol falls back to the
+    regular ``PREPARE`` round, which is why ``FAST.next is PREPARE``)."""
 
+    FAST = 0
     PREPARE = 1
     PRECOMMIT = 2
     COMMIT = 3
@@ -27,7 +31,8 @@ class Phase(enum.Enum):
 
     @property
     def has_aggregation(self) -> bool:
-        """Rounds 1-3 collect votes; round 4 only disseminates."""
+        """Rounds 1-3 (and the fast round) collect votes; round 4 only
+        disseminates."""
         return self is not Phase.DECIDE
 
     @property

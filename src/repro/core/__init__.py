@@ -8,17 +8,29 @@ This is the paper's primary contribution (§3-§5):
 - :mod:`repro.core.perfmodel` -- the §4.3 performance model: sending /
   processing / remaining time, the pipelining stretch, and the expected
   speedup (generates Table 2).
-- :mod:`repro.core.node` -- the full protocol node: HotStuff's four rounds
-  over a pluggable topology, Kauri's stretch-paced pipelining, and the
-  §5/§6 reconfiguration machinery.
-- :mod:`repro.core.modes` -- the four evaluated systems: Kauri, Kauri-np,
-  HotStuff-secp, HotStuff-bls (§7).
+- :mod:`repro.core.smr` -- the protocol-agnostic replica base
+  (:class:`SmrNode`): view lifecycle, client pump, commit plumbing, and the
+  §5/§6 reconfiguration machinery, parameterized by a pluggable
+  :class:`~repro.consensus.protocol.Protocol` strategy.
+- :mod:`repro.core.node` -- the historical ``ProtocolNode`` facade over
+  ``SmrNode``.
+- :mod:`repro.core.modes` -- the evaluated systems (Kauri, Kauri-np,
+  HotStuff-secp, HotStuff-bls, PBFT, Kudzu; §7) and the ``PROTOCOLS``
+  strategy registry.
 """
 
 from repro.core.comm import TreeComm
 from repro.core.perfmodel import PerfModel
 from repro.core.node import ProtocolNode
-from repro.core.modes import MODES, ModeSpec, mode_spec
+from repro.core.smr import SmrNode
+from repro.core.modes import (
+    MODES,
+    PROTOCOLS,
+    ModeSpec,
+    mode_spec,
+    protocol_class,
+    protocol_kind,
+)
 from repro.core.pipeline import AdaptivePacer
 from repro.core.autotune import (
     PlacementResult,
@@ -31,9 +43,13 @@ __all__ = [
     "TreeComm",
     "PerfModel",
     "ProtocolNode",
+    "SmrNode",
     "MODES",
+    "PROTOCOLS",
     "ModeSpec",
     "mode_spec",
+    "protocol_class",
+    "protocol_kind",
     "AdaptivePacer",
     "TuningResult",
     "PlacementResult",

@@ -11,13 +11,73 @@
   isolating the effect of the signature scheme from the topology.
 - **kauri-secp**: ablation -- Kauri's tree and pipelining but without
   aggregation (not in the paper's figures; used by the ablation bench).
+- **pbft**: the §1 baseline: clique topology, all-to-all quadratic traffic.
+- **kudzu**: Kudzu-style optimistic fast path on the star/BLS fabric --
+  commits in a single aggregated round when a ⌈(n+f+1)/2⌉ fast quorum
+  forms, falling back to the chained slow path otherwise.
+
+Each :class:`ModeSpec` names a *protocol strategy* from the ``PROTOCOLS``
+registry. Strategies are resolved lazily from dotted paths so this module
+stays import-light (strategy modules pull in the simulation stack).
 """
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
+from typing import Any, Dict
 
 from repro.errors import ConfigError
+
+#: Protocol registry: name -> (kind, "module:attr").
+#:
+#: ``kind`` selects how the cluster builds replicas:
+#: - ``"strategy"``: a :class:`~repro.consensus.protocol.Protocol` subclass
+#:   plugged into the shared :class:`~repro.core.smr.SmrNode` base;
+#: - ``"node"``: a standalone node class with its own message flow (PBFT's
+#:   clique all-to-all does not fit the disseminate/aggregate skeleton).
+PROTOCOLS: Dict[str, Dict[str, str]] = {
+    "kauri": {"kind": "strategy", "target": "repro.consensus.protocol:KauriProtocol"},
+    "hotstuff": {
+        "kind": "strategy",
+        "target": "repro.consensus.protocol:HotStuffProtocol",
+    },
+    "kudzu": {"kind": "strategy", "target": "repro.consensus.kudzu:KudzuProtocol"},
+    "pbft": {"kind": "node", "target": "repro.consensus.pbft:PbftNode"},
+}
+
+
+def _resolve(target: str) -> Any:
+    module_name, _, attr = target.partition(":")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def protocol_kind(name: str) -> str:
+    """``"strategy"`` or ``"node"`` for a registered protocol name."""
+    try:
+        return PROTOCOLS[name]["kind"]
+    except KeyError:
+        raise ConfigError(
+            f"unknown protocol {name!r}; registered: {sorted(PROTOCOLS)}"
+        ) from None
+
+
+def protocol_class(name: str) -> Any:
+    """Resolve a registered protocol to its class (strategy or node)."""
+    protocol_kind(name)  # raises on unknown names
+    return _resolve(PROTOCOLS[name]["target"])
+
+
+def protocol_for(mode: "ModeSpec") -> Any:
+    """Instantiate the strategy object for a mode (strategies are
+    stateless, but a fresh instance per node keeps subclassing options
+    open)."""
+    if protocol_kind(mode.protocol) != "strategy":
+        raise ConfigError(
+            f"protocol {mode.protocol!r} is a standalone node class, "
+            "not an SmrNode strategy"
+        )
+    return protocol_class(mode.protocol)()
 
 
 @dataclass(frozen=True)
@@ -28,6 +88,7 @@ class ModeSpec:
     topology: str  # "tree" | "star" | "clique"
     scheme: str  # "bls" | "secp"
     pacing: str  # "stretch" | "sequential" | "chained"
+    protocol: str = "kauri"  # key into PROTOCOLS
 
     def __post_init__(self) -> None:
         if self.topology not in ("tree", "star", "clique"):
@@ -36,6 +97,11 @@ class ModeSpec:
             raise ConfigError(f"unknown scheme {self.scheme!r}")
         if self.pacing not in ("stretch", "sequential", "chained"):
             raise ConfigError(f"unknown pacing {self.pacing!r}")
+        if self.protocol not in PROTOCOLS:
+            raise ConfigError(
+                f"unknown protocol {self.protocol!r}; "
+                f"registered: {sorted(PROTOCOLS)}"
+            )
 
     @property
     def uses_tree(self) -> bool:
@@ -47,13 +113,19 @@ class ModeSpec:
 
 
 MODES = {
-    "kauri": ModeSpec("kauri", "tree", "bls", "stretch"),
-    "kauri-np": ModeSpec("kauri-np", "tree", "bls", "sequential"),
-    "kauri-secp": ModeSpec("kauri-secp", "tree", "secp", "stretch"),
-    "hotstuff-secp": ModeSpec("hotstuff-secp", "star", "secp", "chained"),
-    "hotstuff-bls": ModeSpec("hotstuff-bls", "star", "bls", "chained"),
+    "kauri": ModeSpec("kauri", "tree", "bls", "stretch", protocol="kauri"),
+    "kauri-np": ModeSpec("kauri-np", "tree", "bls", "sequential", protocol="kauri"),
+    "kauri-secp": ModeSpec("kauri-secp", "tree", "secp", "stretch", protocol="kauri"),
+    "hotstuff-secp": ModeSpec(
+        "hotstuff-secp", "star", "secp", "chained", protocol="hotstuff"
+    ),
+    "hotstuff-bls": ModeSpec(
+        "hotstuff-bls", "star", "bls", "chained", protocol="hotstuff"
+    ),
     # The §1 baseline: clique topology, all-to-all quadratic traffic.
-    "pbft": ModeSpec("pbft", "clique", "secp", "sequential"),
+    "pbft": ModeSpec("pbft", "clique", "secp", "sequential", protocol="pbft"),
+    # Kudzu-style optimistic fast path over the HotStuff star fabric.
+    "kudzu": ModeSpec("kudzu", "star", "bls", "chained", protocol="kudzu"),
 }
 
 

@@ -1,589 +1,57 @@
-"""The full protocol node: HotStuff's four rounds over pluggable topologies,
-Kauri's pipelining, and §5/§6 reconfiguration.
+"""Back-compat facade over the refactored SMR core.
 
-One :class:`ProtocolNode` per process. Per view it instantiates a
-:class:`~repro.core.comm.TreeComm` bound to the view's topology (from the
-reconfiguration policy) and runs:
-
-- a *proposal pump* (non-roots): receives round-1 proposals from the
-  parent, forwards them down (Algorithm 2), and spawns one instance
-  handler per height;
-- *instance handlers*: the four rounds of §3.1 -- prepare / pre-commit /
-  commit votes aggregated up the tree (Algorithm 3), QCs disseminated back
-  down, decide on the commit quorum;
-- the *leader loop* (root): collects 2f+1 new-view messages when taking
-  over (§6), then paces proposals according to the mode -- stretch-timed
-  for Kauri (§4.2), QC-chained with depth 4 for HotStuff (§4.1), strictly
-  sequential for Kauri-np;
-- the *pacemaker*: resets on verified quorum certificates and commits;
-  expiry sends a new-view message to the next root and advances the view.
-
-Byzantine behaviours live in :mod:`repro.consensus.byzantine` as
-subclasses overriding specific hooks.
+The monolithic ``ProtocolNode`` was split into the protocol-agnostic
+:class:`~repro.core.smr.SmrNode` base and pluggable
+:class:`~repro.consensus.protocol.Protocol` strategies (see those modules).
+This module keeps the historical import surface alive: ``ProtocolNode`` is
+the ``SmrNode`` with the strategy taken from the mode (which is what the
+old class hard-coded), and the private tag helpers re-export the shared
+vocabulary from :mod:`repro.consensus.tags`.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Tuple
 
-from repro.config import ProtocolConfig, quorum_size
-from repro.consensus.block import Block, BlockStore
-from repro.consensus.pacemaker import Pacemaker
-from repro.consensus.safety import SafetyRules
-from repro.consensus.vote import Phase, QuorumCert, vote_value
-from repro.core.comm import TreeComm
-from repro.core.modes import ModeSpec
-from repro.core.perfmodel import PROPOSAL_OVERHEAD, PerfModel
-from repro.core.pipeline import AdaptivePacer
-from repro.crypto.collection import Collection
-from repro.crypto.signature import SignatureScheme
-from repro.errors import ConsensusError
-from repro.net.impatient import BOTTOM
-from repro.net.network import Network
-from repro.sim.cpu import Cpu
-from repro.sim.engine import Simulator
-from repro.sim.process import Signal, Sleep, Task, WaitSignal, spawn
-from repro.topology.reconfig import ReconfigurationPolicy
-from repro.topology.tree import Tree
+from repro.consensus import tags
+from repro.consensus.protocol import VOTE_PHASES
+from repro.core.perfmodel import PROPOSAL_OVERHEAD
+from repro.core.smr import CLIENT_TX_TAG, NEWVIEW_OVERHEAD, SmrNode
 
-#: Extra wire bytes of a new-view message beyond its QC.
-NEWVIEW_OVERHEAD = 256
-
-#: Tag for client transaction submissions (see ClientHarness).
-CLIENT_TX_TAG = ("client", "txs")
-
-VOTE_PHASES = (Phase.PREPARE, Phase.PRECOMMIT, Phase.COMMIT)
+__all__ = [
+    "CLIENT_TX_TAG",
+    "NEWVIEW_OVERHEAD",
+    "PROPOSAL_OVERHEAD",
+    "VOTE_PHASES",
+    "ProtocolNode",
+]
 
 
 def _prop_tag(view: int) -> Tuple:
-    return ("prop", view)
+    return tags.prop_tag(view)
 
 
-def _vote_tag(view: int, height: int, phase: Phase) -> Tuple:
-    return ("vote", view, height, phase.name)
+def _vote_tag(view: int, height: int, phase) -> Tuple:
+    return tags.vote_tag(view, height, phase)
 
 
-def _qc_tag(view: int, height: int, phase: Phase) -> Tuple:
-    return ("qc", view, height, phase.name)
+def _qc_tag(view: int, height: int, phase) -> Tuple:
+    return tags.qc_tag(view, height, phase)
 
 
 def _newview_tag(view: int) -> Tuple:
-    return ("newview", view)
+    return tags.newview_tag(view)
 
 
 def _is_stale_tag(tag: Any, view: int) -> bool:
-    """Purge predicate: protocol tags of strictly older views."""
-    return (
-        isinstance(tag, tuple)
-        and len(tag) >= 2
-        and tag[0] in ("prop", "vote", "qc", "newview")
-        and isinstance(tag[1], int)
-        and tag[1] < view
-    )
+    return tags.is_stale_tag(tag, view)
 
 
-class ProtocolNode:
-    """One replica of the deployment."""
+class ProtocolNode(SmrNode):
+    """One replica of the deployment (historical name).
 
-    def __init__(
-        self,
-        node_id: int,
-        sim: Simulator,
-        network: Network,
-        scheme: SignatureScheme,
-        policy: ReconfigurationPolicy,
-        config: ProtocolConfig,
-        mode: ModeSpec,
-        model_factory: Callable[[Tree], PerfModel],
-        metrics: Any,
-        workload: Any = None,
-    ):
-        self.node_id = node_id
-        self.sim = sim
-        self.network = network
-        self.scheme = scheme
-        self.policy = policy
-        self.config = config
-        self.mode = mode
-        self.model_factory = model_factory
-        self.metrics = metrics
-        self.workload = workload  # None = saturated (always-full blocks)
-
-        self.n = policy.n
-        self.quorum = quorum_size(self.n)
-        self.newview_quorum = 2 * ((self.n - 1) // 3) + 1  # §6: 2f+1
-
-        self.keypair = scheme.pki.keypair(node_id)
-        self.endpoint = network.register(node_id)
-        self.cpu = Cpu(sim, name=f"cpu-{node_id}")
-        self.store = BlockStore()
-        self.safety = SafetyRules(self.store)
-
-        self.view = -1
-        self.tree: Optional[Tree] = None
-        self.comm: Optional[TreeComm] = None
-        self.model: Optional[PerfModel] = None
-        self.pacemaker: Optional[Pacemaker] = None
-        self.stopped = False
-
-        self._view_tasks: List[Task] = []
-        self._persistent_tasks: List[Task] = []
-        self._seen_heights: set = set()
-        self._prepare_signals: Dict[int, Signal] = {}
-        self._inflight: set = set()
-        self._pending_commits: List[Block] = []
-        self._salt = 0
-        self.instance_failures = 0
-        self.pacer: Optional[AdaptivePacer] = None
-        #: Optional application (state machine) fed by the commit path.
-        self.app: Any = None
-        #: Optional :class:`~repro.obs.recorder.PhaseRecorder`, attached by
-        #: the cluster builder when observability is enabled.
-        self.obs: Any = None
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Boot the replica into view 0 (no new-view collection at genesis)."""
-        self.pacemaker = Pacemaker(
-            self.sim,
-            base_timeout=self.config.base_timeout,
-            on_timeout=self._on_timeout,
-            cap=self.config.timeout_cap,
-        )
-        if self.workload is not None and hasattr(self.workload, "ingest"):
-            self._persistent_tasks.append(
-                spawn(self.sim, self._client_pump(), name=f"n{self.node_id}-clients")
-            )
-        self._enter_view(0)
-
-    def _client_pump(self):
-        """Persistent ingress for client transaction batches (§2)."""
-        while True:
-            msg = yield from self.endpoint.receive(CLIENT_TX_TAG)
-            if isinstance(msg.payload, list):
-                self.workload.ingest(msg.payload)
-
-    def stop(self) -> None:
-        """Halt the replica (crash injection); idempotent."""
-        self.stopped = True
-        self._cancel_view_tasks()
-        for task in self._persistent_tasks:
-            task.cancel()
-        self._persistent_tasks.clear()
-        if self.pacemaker is not None:
-            self.pacemaker.stop()
-
-    def _cancel_view_tasks(self) -> None:
-        for task in self._view_tasks:
-            task.cancel()
-        self._view_tasks.clear()
-
-    def _spawn(self, gen, name: str) -> Task:
-        task = spawn(self.sim, gen, name=f"n{self.node_id}-{name}")
-        self._view_tasks.append(task)
-        return task
-
-    def _enter_view(self, view: int) -> None:
-        if self.stopped:
-            return
-        self._cancel_view_tasks()
-        self.view = view
-        self.tree = self.policy.configuration(view)
-        self.model = self.model_factory(self.tree)
-        self._seen_heights = set()
-        self._prepare_signals = {}
-        self._inflight = set()
-        self.comm = self._build_comm(self.tree)
-        self.endpoint.purge(lambda tag: _is_stale_tag(tag, view))
-        assert self.pacemaker is not None
-        self.pacemaker.base_timeout = self.model.suggested_timeout(
-            self.config.base_timeout
-        )
-        self.pacemaker.cap = max(self.config.timeout_cap, self.pacemaker.base_timeout)
-        self.pacemaker.start_view()
-        if self.tree.root == self.node_id:
-            self._spawn(self._leader_main(view), f"leader-v{view}")
-        else:
-            self._spawn(self._proposal_pump(view), f"pump-v{view}")
-
-    def _build_comm(self, tree: Tree) -> TreeComm:
-        """Hook: build this view's communication layer (overridden by
-        Byzantine behaviours in :mod:`repro.consensus.byzantine`)."""
-        assert self.model is not None
-        return TreeComm(
-            self.sim,
-            self.network,
-            self.node_id,
-            tree,
-            delta=self.config.delta or self.model.suggested_delta(),
-        )
-
-    def _on_timeout(self) -> None:
-        """Pacemaker expiry: reconfigure (§6)."""
-        if self.stopped:
-            return
-        next_view = self.view + 1
-        self.metrics.on_view_change(self.node_id, next_view, self.sim.now)
-        next_leader = self.policy.leader_of(next_view)
-        high = self.safety.high_prepare_qc
-        payload = (high, self.store.get(high.block_hash))
-        self.network.send(
-            self.node_id,
-            next_leader,
-            _newview_tag(next_view),
-            payload,
-            high.wire_size() + NEWVIEW_OVERHEAD,
-        )
-        self._enter_view(next_view)
-
-    # ------------------------------------------------------------------
-    # Leader side
-    # ------------------------------------------------------------------
-    def _leader_main(self, view: int):
-        justify = self.safety.high_prepare_qc
-        if view > 0:
-            justify = yield from self._collect_new_views(view)
-        parent_hash = justify.block_hash
-        next_height = justify.height + 1
-        stretch = self._effective_stretch()
-        interval = self.model.proposal_interval(stretch)
-        cap = self._inflight_cap(stretch)
-        self.pacer = None
-        if self.mode.pacing == "stretch" and self.config.adaptive_stretch:
-            self.pacer = AdaptivePacer(self.model, initial_stretch=stretch)
-        while True:
-            if len(self._inflight) < cap:
-                block = self._make_block(view, next_height, parent_hash)
-                justify_now = self.safety.high_prepare_qc
-                self._inflight.add(block.height)
-                self._prepare_signals[block.height] = Signal()
-                self._spawn(
-                    self._instance(view, block, justify_now, is_leader=True),
-                    f"inst-{block.height}",
-                )
-                parent_hash = block.hash
-                proposed_height = next_height
-                next_height += 1
-                yield from self._pace(proposed_height, interval)
-            else:
-                yield Sleep(interval)
-
-    def _effective_stretch(self) -> float:
-        if self.mode.pacing == "sequential":
-            return 0.0
-        if self.mode.pacing == "chained":
-            return 3.0  # HotStuff's fixed pipeline depth of 4 rounds (§4.1)
-        if self.config.stretch is not None:
-            return self.config.stretch
-        return self.model.pipelining_stretch
-
-    def _inflight_cap(self, stretch: float) -> int:
-        if self.mode.pacing == "sequential":
-            return 1
-        if self.mode.pacing == "chained":
-            return 4
-        return max(4, math.ceil(self.config.max_inflight_factor * (1.0 + stretch)))
-
-    def _pace(self, height: int, interval: float):
-        """Wait before the next proposal, according to the mode (§4.1-4.2)."""
-        if self.mode.pacing == "sequential":
-            # Kauri-np / Motor / Omniledger: next instance only after this
-            # one fully decides (or dies with the view).
-            signal = Signal()
-            self._prepare_signals[("done", height)] = signal
-            yield WaitSignal(signal)
-        elif self.mode.pacing == "chained":
-            # HotStuff: piggyback round 1 of the next instance on round 2 of
-            # this one, i.e. start once the prepare QC is in (§4.1).
-            yield WaitSignal(self._prepare_signals[height])
-        elif self.pacer is not None:
-            # §6 future work: adapt the stretch at runtime from the local
-            # uplink backlog instead of trusting the static configuration.
-            yield Sleep(self.pacer.next_interval(self.network.nic(self.node_id)))
-        else:
-            yield Sleep(interval)
-
-    def _make_block(self, view: int, height: int, parent_hash: str) -> Block:
-        self._salt += 1
-        tx_ids = ()
-        if self.workload is not None:
-            fill = self.workload.next_fill(self.sim.now)
-            payload_size, num_txs = fill.payload_size, fill.num_txs
-            tx_ids = getattr(fill, "tx_ids", ())
-        else:
-            payload_size, num_txs = self.config.block_size, self.config.txs_per_block
-        block = Block.create(
-            height=height,
-            view=view,
-            parent=parent_hash,
-            proposer=self.node_id,
-            payload_size=payload_size,
-            num_txs=num_txs,
-            created_at=self.sim.now,
-            justify_view=view,
-            salt=self._salt,
-            tx_ids=tx_ids,
-        )
-        self.store.add(block)
-        return block
-
-    def _collect_new_views(self, view: int):
-        """§6: await 2f+1 new-view messages; return the high prepare QC."""
-        high = self.safety.high_prepare_qc
-        collected = {self.node_id}
-        while len(collected) < self.newview_quorum:
-            msg = yield from self.endpoint.receive(_newview_tag(view))
-            if msg.src in collected:
-                continue
-            payload = msg.payload
-            if not (isinstance(payload, tuple) and len(payload) == 2):
-                continue
-            qc, block = payload
-            if not isinstance(qc, QuorumCert):
-                continue
-            if not qc.is_genesis:
-                yield from self.cpu.consume(
-                    self.scheme.cost_verify_collection(qc.collection)
-                )
-                if qc.phase is not Phase.PREPARE or not qc.verify(self.quorum):
-                    continue
-            if isinstance(block, Block) and block.hash == qc.block_hash:
-                self.store.add(block)
-            collected.add(msg.src)
-            if qc.newer_than(high):
-                high = qc
-        self.safety.observe_prepare_qc(high)
-        return high
-
-    # ------------------------------------------------------------------
-    # Replica side
-    # ------------------------------------------------------------------
-    def _proposal_pump(self, view: int):
-        """Receive proposals from the parent, forward, spawn handlers."""
-        tag = _prop_tag(view)
-        while True:
-            msg = yield from self.comm.receive_from_parent(tag, timeout=None)
-            # Algorithm 2: forward before validating -- internal nodes are
-            # relays; validation happens before *voting*.
-            self.comm.send_to_children(tag, msg.payload, msg.size)
-            parsed = self._parse_proposal(msg.payload)
-            if parsed is None:
-                continue
-            block, justify, parent_meta = parsed
-            if block.height in self._seen_heights:
-                continue  # duplicate or equivocation at a known height
-            self._seen_heights.add(block.height)
-            self._spawn(
-                self._instance(
-                    view, block, justify, is_leader=False, parent_meta=parent_meta
-                ),
-                f"inst-{block.height}",
-            )
-
-    @staticmethod
-    def _parse_proposal(payload: Any):
-        if not (isinstance(payload, tuple) and len(payload) == 3):
-            return None
-        block, justify, parent_meta = payload
-        if not isinstance(block, Block) or not isinstance(justify, QuorumCert):
-            return None
-        if parent_meta is not None and not isinstance(parent_meta, Block):
-            return None
-        return block, justify, parent_meta
-
-    def _validate_proposal(
-        self, view: int, block: Block, justify: QuorumCert, parent_meta: Optional[Block]
-    ):
-        """Coroutine: full round-1 validation; returns vote eligibility."""
-        if parent_meta is not None and parent_meta.hash == block.parent:
-            self.store.add(parent_meta)
-        if block.view != view or block.proposer != self.tree.root:
-            return False
-        if not justify.is_genesis:
-            yield from self.cpu.consume(
-                self.scheme.cost_verify_collection(justify.collection)
-            )
-            if justify.phase is not Phase.PREPARE or not justify.verify(self.quorum):
-                return False
-        self.store.add(block)
-        if not self.safety.safe_proposal(block, justify):
-            return False
-        self.safety.observe_prepare_qc(justify)
-        return True
-
-    # ------------------------------------------------------------------
-    # The four rounds (§3.1) -- shared by leader and replicas
-    # ------------------------------------------------------------------
-    def _instance(
-        self,
-        view: int,
-        block: Block,
-        justify: QuorumCert,
-        is_leader: bool,
-        parent_meta: Optional[Block] = None,
-    ):
-        height = block.height
-        recorder = self.obs
-        decided = False
-        if recorder is not None:
-            recorder.start(height, self.sim.now)
-        try:
-            if is_leader:
-                self._disseminate_proposal(view, block, justify)
-                if recorder is not None:
-                    # Sends are synchronous NIC enqueues, so the uplink
-                    # backlog right after the fan-out *is* the proposal's
-                    # serialization span (the measured t_s of §4.3).
-                    recorder.disseminate(
-                        height, self.network.nic(self.node_id).backlog
-                    )
-                can_vote = True
-            else:
-                entered = self.sim.now
-                can_vote = yield from self._validate_proposal(
-                    view, block, justify, parent_meta
-                )
-                if recorder is not None:
-                    recorder.disseminate(height, self.sim.now - entered)
-            if recorder is None:
-                observer = None
-            else:
-                observer = lambda elapsed, merged: recorder.aggregate(
-                    height, elapsed, merged
-                )
-            for phase in VOTE_PHASES:
-                own = yield from self._make_vote(view, height, phase, block, can_vote)
-                collection = yield from self.comm.wait_for(
-                    _vote_tag(view, height, phase),
-                    own,
-                    self.scheme,
-                    self.cpu,
-                    observer=observer,
-                )
-                resolve_started = self.sim.now
-                qc = yield from self._resolve_qc(
-                    view, height, phase, block, collection, is_leader
-                )
-                if recorder is not None:
-                    recorder.wait(height, self.sim.now - resolve_started)
-                if qc is None:
-                    self.instance_failures += 1
-                    return False
-                self._handle_qc(qc, block)
-                can_vote = True  # a verified QC re-enables voting downstream
-            decided = True
-            return True
-        finally:
-            if recorder is not None:
-                recorder.finish(height, self.sim.now, decided)
-            self._inflight.discard(height)
-            done = self._prepare_signals.get(("done", height))
-            if done is not None:
-                done.fire_if_unfired()
-
-    def _disseminate_proposal(self, view: int, block: Block, justify: QuorumCert) -> None:
-        """Hook: round-1 dissemination by the root (overridden by Byzantine
-        leaders, e.g. to equivocate).
-
-        ``send_to_children`` is one fabric multicast: the root's §4.3
-        back-to-back child serializations are charged to its uplink in a
-        single batched NIC pass (on a star, this is the leader broadcast).
-        """
-        payload = (block, justify, self.store.get(block.parent))
-        size = block.payload_size + justify.wire_size() + PROPOSAL_OVERHEAD
-        self.comm.send_to_children(_prop_tag(view), payload, size)
-
-    def _make_vote(self, view: int, height: int, phase: Phase, block: Block, can_vote: bool):
-        """Coroutine: sign this phase's vote if the safety rules allow."""
-        if not can_vote or not self.safety.may_vote(view, height, phase):
-            return None
-        self.safety.record_vote(view, height, phase)
-        yield from self.cpu.consume(self.scheme.cost_sign())
-        return self.scheme.new(
-            self.keypair, vote_value(phase, view, height, block.hash)
-        )
-
-    def _resolve_qc(
-        self,
-        view: int,
-        height: int,
-        phase: Phase,
-        block: Block,
-        collection: Collection,
-        is_leader: bool,
-    ):
-        """Coroutine: obtain this phase's QC.
-
-        The root forms it from the aggregate (failing the instance if the
-        quorum is short) and disseminates it; everyone else receives it
-        from the parent (Algorithm 2) and verifies it.
-        """
-        if is_leader:
-            value = vote_value(phase, view, height, block.hash)
-            if not collection.has(value, self.quorum):
-                return None
-            qc = QuorumCert(phase, view, height, block.hash, collection)
-            signal = self._prepare_signals.get(height)
-            if phase is Phase.PREPARE and signal is not None:
-                signal.fire_if_unfired()
-            self.comm.send_to_children(
-                _qc_tag(view, height, phase), qc, qc.wire_size()
-            )
-            return qc
-        data = yield from self.comm.broadcast(_qc_tag(view, height, phase))
-        if data is BOTTOM or not isinstance(data, QuorumCert):
-            return None
-        qc = data
-        if (
-            qc.phase is not phase
-            or qc.view != view
-            or qc.height != height
-            or qc.block_hash != block.hash
-            or qc.is_genesis
-        ):
-            return None
-        yield from self.cpu.consume(self.scheme.cost_verify_collection(qc.collection))
-        if not qc.verify(self.quorum):
-            return None
-        return qc
-
-    def _handle_qc(self, qc: QuorumCert, block: Block) -> None:
-        self.safety.observe_qc(qc)
-        assert self.pacemaker is not None
-        self.pacemaker.record_progress()
-        if qc.phase is Phase.COMMIT:
-            self._commit(block)
-
-    # ------------------------------------------------------------------
-    # Commit path
-    # ------------------------------------------------------------------
-    def _commit(self, block: Block) -> None:
-        """Commit ``block`` and uncommitted ancestors; buffer on gaps."""
-        if self.store.is_committed(block.hash):
-            return
-        if not self.store.knows_chain(block):
-            self._pending_commits.append(block)
-            return
-        newly = self.store.commit(block)  # raises ConsensusError on conflict
-        for committed in newly:
-            self.metrics.on_commit(self.node_id, committed, self.sim.now)
-            if self.app is not None:
-                self.app.apply_block(committed)
-        if self._pending_commits:
-            pending, self._pending_commits = self._pending_commits, []
-            for buffered in pending:
-                self._commit(buffered)
-
-    # ------------------------------------------------------------------
-    @property
-    def committed_height(self) -> int:
-        return self.store.committed_height
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        role = "?"
-        if self.tree is not None:
-            role = "leader" if self.tree.root == self.node_id else "replica"
-        return f"ProtocolNode(id={self.node_id}, view={self.view}, {role})"
+    Byzantine behaviours in :mod:`repro.consensus.byzantine` subclass this
+    and override the mechanism hooks (``_make_vote``,
+    ``_disseminate_proposal``, ``_build_comm``); the strategy keeps calling
+    through them regardless of which protocol is plugged in.
+    """

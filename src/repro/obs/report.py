@@ -176,6 +176,18 @@ def build_report(
             "byzantine": sorted(cluster.faults.byzantine),
         },
     }
+    # Fast-path protocols only: reports of the six classic modes must stay
+    # byte-identical (the golden tests pin them), so the section is
+    # strictly conditional.
+    if getattr(cluster.mode, "protocol", None) == "kudzu":
+        report["fast_path"] = {
+            "fast_commits": sum(
+                getattr(n, "fast_commits", 0) for n in cluster.nodes
+            ),
+            "fast_fallbacks": sum(
+                getattr(n, "fast_fallbacks", 0) for n in cluster.nodes
+            ),
+        }
     return _rounded(report)
 
 

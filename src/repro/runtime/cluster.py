@@ -17,7 +17,7 @@ from repro.config import (
     SCENARIOS,
     max_faults,
 )
-from repro.core.modes import ModeSpec, mode_spec
+from repro.core.modes import ModeSpec, mode_spec, protocol_class, protocol_kind
 from repro.core.node import ProtocolNode
 from repro.core.perfmodel import PerfModel
 from repro.crypto.keys import Pki
@@ -113,11 +113,11 @@ class Cluster:
         self._model_cache: Dict[Tuple[int, int], PerfModel] = {}
 
         byzantine = byzantine or {}
+        # Strategy protocols all run on the shared SmrNode base; standalone
+        # node classes (PBFT's clique flow) come from the registry directly.
         default_factory: Callable[..., ProtocolNode] = ProtocolNode
-        if self.mode.name == "pbft":
-            from repro.consensus.pbft import PbftNode
-
-            default_factory = PbftNode
+        if protocol_kind(self.mode.protocol) == "node":
+            default_factory = protocol_class(self.mode.protocol)
         self.nodes: List[ProtocolNode] = []
         for node_id in range(n):
             factory = byzantine.get(node_id, default_factory)

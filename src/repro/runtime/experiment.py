@@ -37,6 +37,10 @@ class ExperimentResult:
     instance_failures: int
     #: Full RunReport (repro.obs) when the run had observability enabled.
     report: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    #: Kudzu fast-path counters, summed over all nodes (0 for every other
+    #: protocol). Defaulted so cached pre-upgrade results still load.
+    fast_commits: int = 0
+    fast_fallbacks: int = 0
 
     def row(self) -> Tuple:
         """Compact tuple for table printing."""
@@ -138,4 +142,8 @@ def run_experiment(
         leader_cpu_utilization=utilization,
         instance_failures=sum(node.instance_failures for node in cluster.nodes),
         report=report,
+        fast_commits=sum(getattr(node, "fast_commits", 0) for node in cluster.nodes),
+        fast_fallbacks=sum(
+            getattr(node, "fast_fallbacks", 0) for node in cluster.nodes
+        ),
     )

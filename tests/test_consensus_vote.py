@@ -23,17 +23,24 @@ def build_qc(pki, scheme, phase, view, height, block_hash, signers):
 
 
 class TestPhase:
-    def test_four_rounds(self):
-        assert [p.value for p in Phase] == [1, 2, 3, 4]
+    def test_four_rounds_plus_fast(self):
+        # The four §3.1 rounds keep their historical values; the Kudzu
+        # optimistic round slots in front so that FAST.next is PREPARE.
+        assert [p.value for p in Phase] == [0, 1, 2, 3, 4]
+        assert Phase.PREPARE.value == 1
+        assert Phase.DECIDE.value == 4
 
     def test_aggregation_phases(self):
-        """§3.1: rounds 1-3 collect votes; round 4 only disseminates."""
+        """§3.1: rounds 1-3 collect votes; round 4 only disseminates.
+        The Kudzu fast round aggregates too."""
+        assert Phase.FAST.has_aggregation
         assert Phase.PREPARE.has_aggregation
         assert Phase.PRECOMMIT.has_aggregation
         assert Phase.COMMIT.has_aggregation
         assert not Phase.DECIDE.has_aggregation
 
     def test_next(self):
+        assert Phase.FAST.next is Phase.PREPARE  # fallback order
         assert Phase.PREPARE.next is Phase.PRECOMMIT
         assert Phase.COMMIT.next is Phase.DECIDE
         with pytest.raises(ConsensusError):
