@@ -27,6 +27,7 @@ from repro.analysis.figures import (
     fig10_tree_height,
     fig11_heterogeneous,
     fig12_reconfiguration,
+    fig_depth_scaling,
 )
 
 __all__ = [
@@ -50,4 +51,5 @@ __all__ = [
     "fig10_tree_height",
     "fig11_heterogeneous",
     "fig12_reconfiguration",
+    "fig_depth_scaling",
 ]

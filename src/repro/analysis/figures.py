@@ -355,6 +355,65 @@ def fig10_tree_height(
 
 
 # ---------------------------------------------------------------------------
+# Beyond Figure 10: tree-depth scaling up to N = 1000
+# ---------------------------------------------------------------------------
+def fig_depth_scaling(
+    sizes: Sequence[int] = (200, 400, 1000),
+    heights: Sequence[int] = (2, 3, 4),
+    scale: float = 1.0,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    use_cache: bool = False,
+) -> Dict[str, List[Tuple[int, float, float, bool]]]:
+    """Tree depth vs system size past the paper's largest plotted scale.
+
+    Fig. 10 asks which tree height wins at which bandwidth with N fixed
+    at 100; this sweep asks the same question along the *size* axis, up
+    to N = 1000 on the global scenario -- the regime the bitmap signer
+    sets, flyweight replica state, and batched event dispatch make
+    simulable in minutes. Star-shaped HotStuff-bls rides along as the
+    depth-1 contrast whose leader uplink the trees exist to relieve.
+    Rows per system: (n, Ktx/s, p50 latency ms, cpu_saturated).
+    """
+    systems = [(f"kauri-h{height}", "kauri", height) for height in heights]
+    systems.append(("hotstuff-bls", "hotstuff-bls", 1))
+    cells = [
+        (n, label, mode, height)
+        for n in sizes
+        for label, mode, height in systems
+    ]
+    specs = [
+        ExperimentSpec(
+            mode=mode,
+            scenario=GLOBAL,
+            n=n,
+            height=max(height, 2) if mode_spec(mode).uses_tree else 2,
+            duration=adaptive_duration(
+                mode, n, GLOBAL, 250 * KB, height=max(height, 1), scale=scale
+            ),
+            max_commits=int(60 * scale) or 6,
+            seed=seed,
+        )
+        for n, label, mode, height in cells
+    ]
+    out: Dict[str, List[Tuple[int, float, float, bool]]] = {
+        label: [] for label, _, _ in systems
+    }
+    for (n, label, _, _), result in zip(
+        cells, _runner(jobs, use_cache).run(specs)
+    ):
+        out[label].append(
+            (
+                n,
+                result.throughput_txs / 1000.0,
+                result.latency["p50"] * 1000.0,
+                result.cpu_saturated,
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Figure 11: heterogeneous networks (§7.9)
 # ---------------------------------------------------------------------------
 def fig11_heterogeneous(

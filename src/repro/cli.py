@@ -252,7 +252,9 @@ def _cmd_modes(args) -> int:
     return 0
 
 
-FIG_CHOICES = ["3", "5", "6", "7", "8", "9", "10", "11", "12a", "12b", "12c"]
+FIG_CHOICES = [
+    "3", "5", "6", "7", "8", "9", "10", "11", "12a", "12b", "12c", "depth",
+]
 
 
 def _add_engine_args(p) -> None:
@@ -282,10 +284,24 @@ def _cmd_fig(args) -> int:
         fig10_tree_height,
         fig11_heterogeneous,
         fig12_reconfiguration,
+        fig_depth_scaling,
     )
 
     scale = args.scale
     engine = {"jobs": args.jobs, "use_cache": not args.no_cache}
+    if args.figure == "depth":
+        data = fig_depth_scaling(scale=scale, **engine)
+        rows = [
+            (label, n, ktx, lat, "SAT" if sat else "")
+            for label, series in data.items()
+            for n, ktx, lat, sat in series
+        ]
+        print(format_table(
+            ("System", "N", "Ktx/s", "p50 lat (ms)", "CPU"),
+            rows,
+            title="Tree-depth scaling to N=1000 (beyond Figure 10)",
+        ))
+        return 0
     if args.figure == "3":
         from repro.analysis import extract_spans, max_concurrency, render_gantt
         from repro.net.trace import MessageTrace
@@ -480,6 +496,10 @@ def _add_perf_parser(subparsers) -> None:
     p.add_argument("--tolerance", type=float, default=0.30,
                    help="allowed fractional regression for --check "
                         "(default 0.30; wall-clock benches are noisy)")
+    p.add_argument("--mem-tolerance", type=float, default=0.15,
+                   help="allowed fractional peak-memory growth for --check "
+                        "(default 0.15; traced bytes are stable across "
+                        "machines, so the budget is tighter)")
     p.add_argument("--bench", action="append", default=None, metavar="NAME",
                    help="run only this bench (repeatable); default: all")
     p.add_argument("--seed", type=int, default=0)
@@ -499,11 +519,12 @@ def _cmd_perf(args) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     rows = [
-        (name, f"{r.value:,.1f}", r.unit, r.n, r.seed)
+        (name, f"{r.value:,.1f}", r.unit, r.n,
+         "-" if r.peak_mb is None else f"{r.peak_mb:,.1f}", r.seed)
         for name, r in sorted(results.items())
     ]
     print(format_table(
-        ("Bench", "Value", "Unit", "N", "Seed"),
+        ("Bench", "Value", "Unit", "N", "Peak MiB", "Seed"),
         rows,
         title="Hot-path microbenchmarks" + (" (quick)" if args.quick else ""),
     ))
@@ -516,13 +537,15 @@ def _cmd_perf(args) -> int:
     if args.check is not None:
         baseline = load_results(args.check)
         problems = compare_to_baseline(
-            results, baseline, tolerance=args.tolerance
+            results, baseline, tolerance=args.tolerance,
+            mem_tolerance=args.mem_tolerance,
         )
         if problems:
             for problem in problems:
                 print(f"REGRESSION: {problem}", file=sys.stderr)
             return 1
-        print(f"no regression beyond {args.tolerance:.0%} vs {args.check}")
+        print(f"no regression beyond {args.tolerance:.0%} "
+              f"(memory {args.mem_tolerance:.0%}) vs {args.check}")
     return 0
 
 

@@ -40,6 +40,8 @@ class EquivocatingLeaderNode(ProtocolNode):
     (hoping to certify either) -- the double-vote that evidence collection
     (:mod:`repro.consensus.evidence`) convicts."""
 
+    __slots__ = ("_twins",)
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._twins = {}
@@ -97,6 +99,8 @@ class _VoteDroppingComm(TreeComm):
 class VoteWithholdingNode(ProtocolNode):
     """Forwards proposals and QCs but never contributes or relays votes."""
 
+    __slots__ = ()
+
     def _build_comm(self, tree: Tree) -> TreeComm:
         assert self.model is not None
         return _VoteDroppingComm(
@@ -118,6 +122,8 @@ class VoteForgingNode(ProtocolNode):
     A correct parent must verify and discard them (collection Integrity);
     quorums must never count the forged signers.
     """
+
+    __slots__ = ()
 
     def _make_vote(self, view, height, phase, block, can_vote):
         value = vote_value(phase, view, height, block.hash)
@@ -143,6 +149,8 @@ class VoteForgingNode(ProtocolNode):
 class SilentNode(ProtocolNode):
     """Never participates (fail-stop from boot, counted as Byzantine)."""
 
+    __slots__ = ()
+
     def start(self) -> None:
         self.stopped = True
 
@@ -165,6 +173,8 @@ class QcWithholdingLeaderNode(ProtocolNode):
     detected and the leader voted out -- the reason progress, not traffic,
     must drive the fault detector.
     """
+
+    __slots__ = ()
 
     def _build_comm(self, tree: Tree) -> TreeComm:
         assert self.model is not None
@@ -206,6 +216,8 @@ class QcTamperingNode(ProtocolNode):
     correct descendant's verification fails and the subtree abstains --
     integrity degrades the attack to omission.
     """
+
+    __slots__ = ()
 
     def _build_comm(self, tree: Tree) -> TreeComm:
         assert self.model is not None

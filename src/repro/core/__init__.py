@@ -22,7 +22,7 @@ This is the paper's primary contribution (§3-§5):
 from repro.core.comm import TreeComm
 from repro.core.perfmodel import PerfModel
 from repro.core.node import ProtocolNode
-from repro.core.smr import SmrNode
+from repro.core.smr import ReplicaShared, SmrNode
 from repro.core.modes import (
     MODES,
     PROTOCOLS,
@@ -43,6 +43,7 @@ __all__ = [
     "TreeComm",
     "PerfModel",
     "ProtocolNode",
+    "ReplicaShared",
     "SmrNode",
     "MODES",
     "PROTOCOLS",

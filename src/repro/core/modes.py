@@ -69,9 +69,12 @@ def protocol_class(name: str) -> Any:
 
 
 def protocol_for(mode: "ModeSpec") -> Any:
-    """Instantiate the strategy object for a mode (strategies are
-    stateless, but a fresh instance per node keeps subclassing options
-    open)."""
+    """Instantiate the strategy object for a mode.
+
+    Strategies are stateless (they receive the node on every call), so one
+    instance per *deployment* suffices -- ``ReplicaShared`` shares it across
+    all replicas; a node wanting a bespoke strategy assigns its own
+    ``node.protocol``."""
     if protocol_kind(mode.protocol) != "strategy":
         raise ConfigError(
             f"protocol {mode.protocol!r} is a standalone node class, "

@@ -55,3 +55,5 @@ class ProtocolNode(SmrNode):
     ``_disseminate_proposal``, ``_build_comm``); the strategy keeps calling
     through them regardless of which protocol is plugged in.
     """
+
+    __slots__ = ()

@@ -31,6 +31,7 @@ independent of which strategy is plugged in.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.config import ProtocolConfig, quorum_size
@@ -58,39 +59,105 @@ NEWVIEW_OVERHEAD = 256
 CLIENT_TX_TAG = ("client", "txs")
 
 
-class SmrNode:
-    """One replica of the deployment, parameterized by a protocol strategy."""
+@dataclass(frozen=True, slots=True)
+class ReplicaShared:
+    """Deployment-wide immutable replica configuration (the flyweight).
 
-    def __init__(
-        self,
-        node_id: int,
-        sim: Simulator,
-        network: Network,
+    Every replica of one deployment runs the same protocol strategy
+    against the same crypto scheme, topology policy, protocol config,
+    mode spec, performance-model factory and metrics sink -- and derives
+    the same quorum sizes from them. One frozen instance holds all of it;
+    per-node state keeps a single reference, so an N=1000 deployment pays
+    for this configuration once instead of a thousand times.
+
+    Strategies are stateless (they receive the node on every call), which
+    is what makes sharing :attr:`protocol` across replicas safe; a node
+    that needs a bespoke strategy can still assign ``node.protocol``.
+    """
+
+    scheme: SignatureScheme
+    policy: ReconfigurationPolicy
+    config: ProtocolConfig
+    mode: ModeSpec
+    model_factory: Callable[[Tree], PerfModel]
+    metrics: Any
+    protocol: Any
+    n: int
+    quorum: int
+    newview_quorum: int
+
+    @classmethod
+    def build(
+        cls,
         scheme: SignatureScheme,
         policy: ReconfigurationPolicy,
         config: ProtocolConfig,
         mode: ModeSpec,
         model_factory: Callable[[Tree], PerfModel],
         metrics: Any,
+    ) -> "ReplicaShared":
+        n = policy.n
+        return cls(
+            scheme=scheme,
+            policy=policy,
+            config=config,
+            mode=mode,
+            model_factory=model_factory,
+            metrics=metrics,
+            protocol=protocol_for(mode),
+            n=n,
+            quorum=quorum_size(n),
+            newview_quorum=2 * ((n - 1) // 3) + 1,  # §6: 2f+1
+        )
+
+
+class SmrNode:
+    """One replica of the deployment, parameterized by a protocol strategy."""
+
+    __slots__ = (
+        "shared", "node_id", "sim", "network", "workload", "protocol",
+        "keypair", "endpoint", "cpu", "store", "safety",
+        "view", "tree", "comm", "model", "pacemaker", "stopped",
+        "_view_tasks", "_persistent_tasks", "_seen_heights",
+        "_prepare_signals", "_inflight", "_pending_commits", "_salt",
+        "instance_failures", "fast_commits", "fast_fallbacks",
+        "pacer", "app", "obs",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        scheme: Optional[SignatureScheme] = None,
+        policy: Optional[ReconfigurationPolicy] = None,
+        config: Optional[ProtocolConfig] = None,
+        mode: Optional[ModeSpec] = None,
+        model_factory: Optional[Callable[[Tree], PerfModel]] = None,
+        metrics: Any = None,
         workload: Any = None,
+        shared: Optional[ReplicaShared] = None,
     ):
+        if shared is None:
+            # Direct construction (tests, one-off nodes): build a private
+            # flyweight from the pieces. Deployment builders construct one
+            # ReplicaShared up front and pass it to every node.
+            shared = ReplicaShared.build(
+                scheme=scheme,
+                policy=policy,
+                config=config,
+                mode=mode,
+                model_factory=model_factory,
+                metrics=metrics,
+            )
+        self.shared = shared
         self.node_id = node_id
         self.sim = sim
         self.network = network
-        self.scheme = scheme
-        self.policy = policy
-        self.config = config
-        self.mode = mode
-        self.model_factory = model_factory
-        self.metrics = metrics
         self.workload = workload  # None = saturated (always-full blocks)
-        self.protocol = protocol_for(mode)
+        self.protocol = shared.protocol
 
-        self.n = policy.n
-        self.quorum = quorum_size(self.n)
-        self.newview_quorum = 2 * ((self.n - 1) // 3) + 1  # §6: 2f+1
-
-        self.keypair = scheme.pki.keypair(node_id)
+        self.keypair = shared.scheme.pki.keypair(node_id)
         self.endpoint = network.register(node_id)
         self.cpu = Cpu(sim, name=f"cpu-{node_id}")
         self.store = BlockStore()
@@ -120,6 +187,45 @@ class SmrNode:
         #: Optional :class:`~repro.obs.recorder.PhaseRecorder`, attached by
         #: the cluster builder when observability is enabled.
         self.obs: Any = None
+
+    # ------------------------------------------------------------------
+    # Shared (deployment-wide) configuration, read through the flyweight.
+    # ------------------------------------------------------------------
+    @property
+    def scheme(self) -> SignatureScheme:
+        return self.shared.scheme
+
+    @property
+    def policy(self) -> ReconfigurationPolicy:
+        return self.shared.policy
+
+    @property
+    def config(self) -> ProtocolConfig:
+        return self.shared.config
+
+    @property
+    def mode(self) -> ModeSpec:
+        return self.shared.mode
+
+    @property
+    def model_factory(self) -> Callable[[Tree], PerfModel]:
+        return self.shared.model_factory
+
+    @property
+    def metrics(self) -> Any:
+        return self.shared.metrics
+
+    @property
+    def n(self) -> int:
+        return self.shared.n
+
+    @property
+    def quorum(self) -> int:
+        return self.shared.quorum
+
+    @property
+    def newview_quorum(self) -> int:
+        return self.shared.newview_quorum
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -172,9 +278,12 @@ class SmrNode:
         self.view = view
         self.tree = self.policy.configuration(view)
         self.model = self.model_factory(self.tree)
-        self._seen_heights = set()
-        self._prepare_signals = {}
-        self._inflight = set()
+        # Clear in place rather than reallocating: view changes are common
+        # under faults, and _cancel_view_tasks() has already run every
+        # instance's finally block, so nothing observes the old contents.
+        self._seen_heights.clear()
+        self._prepare_signals.clear()
+        self._inflight.clear()
         self.comm = self._build_comm(self.tree)
         self.endpoint.purge(lambda tag: self.protocol.is_stale_tag(tag, view))
         assert self.pacemaker is not None

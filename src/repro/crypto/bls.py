@@ -4,22 +4,26 @@ Each internal node aggregates its children's shares into a single
 aggregated vote (§3.3.2): O(m) aggregation work per node, O(1) aggregate
 size and verification. The wire representation is modeled as one 48-byte
 aggregate plus a signer bitmap per distinct value; the in-memory object
-additionally carries per-signer tags so that ⊕ is idempotent under
-arbitrary overlaps and forged tags are detectable -- exactly the behaviour
-of real BLS multisignatures with rogue-key protection (§2 cites the
-proof-of-possession requirement).
+mirrors that wire shape directly: each value's signer set is an int
+bitmask, and the canonical per-signer tags live in an interned arena
+shared per :class:`~repro.crypto.keys.Pki` (its expected-MAC memo) rather
+than being duplicated into every collection. Forged or out-of-range
+entries -- which by definition carry a tag *other* than the arena's
+canonical one -- are quarantined in a tiny per-value ``extras`` dict, so
+they stay detectable and never count toward a quorum, exactly the
+behaviour of real BLS multisignatures with rogue-key protection (§2 cites
+the proof-of-possession requirement).
 
 Performance model of ⊕ (the simulator's hottest crypto path): collections
-are immutable, so ``combine`` is copy-on-write. Per-value signer maps are
-shared by reference between parent and child collections whenever one side
-already holds the union; only genuinely mutated slots are copied, and the
-copy duplicates the *larger* side C-level while the Python merge loop runs
-over the *smaller* side. Folding a fresh share into a growing aggregate --
-the Algorithm 3 pattern -- therefore does O(1) Python-level work per ⊕
-instead of O(total shares), and validity sets computed by an ancestor are
-inherited instead of re-verified (see :data:`MERGE_STATS` and
+are immutable, so ``combine`` is copy-on-write. Per-value slots are
+``(mask, extras)`` pairs shared by reference between parent and child
+collections whenever one side already holds the union; merging two
+honest slots is two int ORs and an equality check -- no per-signer walk
+at all -- and ``cardinality`` is a popcount. Only slots that actually
+contain adversarial ``extras`` fall back to a Python merge loop, and
+``MERGE_STATS`` counts exactly that residual work (see
 ``tests/test_perf_hotpaths.py``). The invariant that makes sharing safe:
-``_byvalue`` and its slot dicts are never mutated after construction.
+``_byvalue`` and its slot tuples are never mutated after construction.
 """
 
 from __future__ import annotations
@@ -37,10 +41,11 @@ from repro.errors import CryptoError
 class MergeStats:
     """Counters of Python-level ⊕ work; reset/read by perf tests.
 
-    ``entries_examined`` counts signer entries walked by the Python merge
-    loop (always the smaller side of a slot merge), ``slot_copies`` the
-    per-value signer maps actually duplicated, ``slots_shared`` the maps
-    passed between collections by reference.
+    ``entries_examined`` counts the signer entries walked by the Python
+    merge loop -- with bitmap slots that is only the adversarial
+    ``extras`` residue, since honest signer sets union with int ORs.
+    ``slot_copies`` counts per-value slots actually rebuilt,
+    ``slots_shared`` the slots passed between collections by reference.
     """
 
     __slots__ = ("entries_examined", "slot_copies", "slots_shared")
@@ -56,6 +61,35 @@ class MergeStats:
 
 MERGE_STATS = MergeStats()
 
+#: Bitmask -> frozenset of set bit positions. Quorum masks repeat across
+#: every collection that reaches the same signer set, so the expansion is
+#: interned process-wide; entries are pure facts about ints (never
+#: invalidated), inserts stop at the cap to bound memory on long sweeps.
+_SIGNERS_MEMO: Dict[int, FrozenSet[int]] = {0: frozenset()}
+_SIGNERS_MEMO_CAP = 1 << 16
+
+#: Slot layout: ``(mask, extras)``. Bit ``i`` of ``mask`` set means
+#: signer ``i`` contributed the *canonical* tag for the value (the one
+#: the Pki arena would mint), i.e. a valid signature. ``extras`` maps
+#: signer -> tag for entries whose tag differs from the canonical one
+#: (forged) or whose signer is outside the PKI; ``None`` when absent.
+_Slot = Tuple[int, Optional[Dict[int, bytes]]]
+
+
+def _signers_of(mask: int) -> FrozenSet[int]:
+    signers = _SIGNERS_MEMO.get(mask)
+    if signers is None:
+        bits = []
+        m = mask
+        while m:
+            low = m & -m
+            bits.append(low.bit_length() - 1)
+            m ^= low
+        signers = frozenset(bits)
+        if len(_SIGNERS_MEMO) < _SIGNERS_MEMO_CAP:
+            _SIGNERS_MEMO[mask] = signers
+    return signers
+
 
 @dataclass(frozen=True)
 class BlsShare:
@@ -67,12 +101,10 @@ class BlsShare:
 
 
 class BlsCollection(Collection):
-    """Per-value aggregates: value -> {signer: tag}; ⊕ merges signer maps."""
+    """Per-value aggregates: value -> (signer bitmask, forged extras)."""
 
-    __slots__ = (
-        "_pki", "_costs", "_byvalue", "_valid_cache", "_frozen_cache",
-        "_hash_cache", "_card_cache",
-    )
+    __slots__ = ("_pki", "_costs", "_byvalue", "_frozen_cache",
+                 "_hash_cache", "_card_cache")
 
     def __init__(
         self,
@@ -82,13 +114,14 @@ class BlsCollection(Collection):
     ):
         self._pki = pki
         self._costs = costs
-        # The public constructor defensively copies; internal construction
-        # goes through _adopt, which shares maps copy-on-write.
-        self._byvalue: Dict[Any, Dict[int, bytes]] = {
-            value: dict(signers) for value, signers in (byvalue or {}).items()
+        # The public constructor classifies raw signer->tag maps against
+        # the Pki's canonical-tag arena; internal construction goes
+        # through _adopt, which shares already-classified slots.
+        self._byvalue: Dict[Any, _Slot] = {
+            value: _classify(pki, value, signers)
+            for value, signers in (byvalue or {}).items()
         }
-        self._valid_cache: Dict[Any, FrozenSet[int]] = {}
-        self._frozen_cache: Optional[FrozenSet[Tuple[Any, int, bytes]]] = None
+        self._frozen_cache: Optional[FrozenSet] = None
         self._hash_cache: Optional[int] = None
         self._card_cache: Optional[int] = None
 
@@ -97,19 +130,17 @@ class BlsCollection(Collection):
         cls,
         pki: Pki,
         costs: CryptoCostModel,
-        byvalue: Dict[Any, Dict[int, bytes]],
-        valid_cache: Optional[Dict[Any, FrozenSet[int]]] = None,
+        byvalue: Dict[Any, _Slot],
     ) -> "BlsCollection":
         """Build a collection taking ownership of ``byvalue`` uncopied.
 
-        Callers must guarantee the maps are never mutated afterwards --
+        Callers must guarantee the slots are never mutated afterwards --
         they may be shared with other collections.
         """
         self = cls.__new__(cls)
         self._pki = pki
         self._costs = costs
         self._byvalue = byvalue
-        self._valid_cache = valid_cache if valid_cache is not None else {}
         self._frozen_cache = None
         self._hash_cache = None
         self._card_cache = None
@@ -129,105 +160,86 @@ class BlsCollection(Collection):
         if not self._byvalue and other._costs is self._costs:
             return other
         stats = MERGE_STATS
-        pki = self._pki
-        theirs_cache = other._valid_cache
-        merged = dict(self._byvalue)  # shallow: slot dicts shared until written
-        valid_cache = dict(self._valid_cache) if self._valid_cache else {}
+        merged = dict(self._byvalue)  # shallow: slots shared until replaced
         changed = False
         for value, theirs in other._byvalue.items():
             ours = merged.get(value)
             if ours is None:
                 merged[value] = theirs  # share the whole slot by reference
                 stats.slots_shared += 1
-                cached = theirs_cache.get(value)
-                if cached is not None:
-                    valid_cache[value] = cached
-                else:
-                    valid_cache.pop(value, None)
                 changed = True
                 continue
             if ours is theirs:
                 stats.slots_shared += 1
                 continue
-            # Walk the smaller side; the larger is duplicated C-level only
-            # if the union actually differs from it.
-            small, big = (
-                (ours, theirs) if len(ours) <= len(theirs) else (theirs, ours)
-            )
-            stats.entries_examined += len(small)
-            delta = None
-            for signer, tag in small.items():
-                btag = big.get(signer)
-                if btag is None or btag != tag:
-                    if delta is None:
-                        delta = []
-                    delta.append((signer, tag, btag))
-            if delta is None:
-                # small ⊆ big with identical tags: big already is the union.
-                stats.slots_shared += 1
-                if big is not ours:
-                    merged[value] = big
-                    cached = theirs_cache.get(value)
-                    if cached is not None:
-                        valid_cache[value] = cached
-                    else:
-                        valid_cache.pop(value, None)
-                    changed = True
-                continue
-            slot = dict(big)
-            stats.slot_copies += 1
-            digest = None
-            small_is_theirs = small is theirs
-            for signer, tag, btag in delta:
-                if btag is None:
-                    slot[signer] = tag
+            ours_mask, ours_extras = ours
+            theirs_mask, theirs_extras = theirs
+            if ours_extras is None and theirs_extras is None:
+                # Honest ⊕ honest: union is a couple of int ORs.
+                mask = ours_mask | theirs_mask
+                if mask == ours_mask:
+                    stats.slots_shared += 1  # theirs ⊆ ours
                     continue
-                # Conflicting tags for the same (signer, value): keep the
-                # valid one if any; a bad tag must never shadow a good one.
-                if digest is None:
-                    digest = canonical_digest(value)
-                theirs_tag = tag if small_is_theirs else btag
-                ours_tag = btag if small_is_theirs else tag
-                slot[signer] = (
-                    theirs_tag
-                    if pki.verify_mac(signer, digest, theirs_tag)
-                    else ours_tag
-                )
+                if mask == theirs_mask:
+                    merged[value] = theirs  # ours ⊆ theirs: adopt theirs
+                    stats.slots_shared += 1
+                    changed = True
+                    continue
+                merged[value] = (mask, None)
+                changed = True
+                continue
+            # Adversarial residue on at least one side: rebuild the slot.
+            # A canonical (valid) tag always shadows a forged one for the
+            # same signer; between two forged tags, ours wins -- exactly
+            # the old per-signer verify-and-keep-the-valid-one rule.
+            mask = ours_mask | theirs_mask
+            extras: Dict[int, bytes] = {}
+            if theirs_extras:
+                stats.entries_examined += len(theirs_extras)
+                for signer, tag in theirs_extras.items():
+                    if signer < 0 or not (mask >> signer) & 1:
+                        extras[signer] = tag
+            if ours_extras:
+                stats.entries_examined += len(ours_extras)
+                for signer, tag in ours_extras.items():
+                    if signer < 0 or not (mask >> signer) & 1:
+                        extras[signer] = tag
+            slot = (mask, extras or None)
+            if slot == ours:
+                stats.slots_shared += 1  # theirs ⊆ ours
+                continue
+            if slot == theirs:
+                merged[value] = theirs
+                stats.slots_shared += 1
+                changed = True
+                continue
+            stats.slot_copies += 1
             merged[value] = slot
-            # Validity of the union is the union of validities: the merge
-            # above keeps a valid tag whenever either side had one.
-            ours_valid = self._valid_cache.get(value)
-            theirs_valid = theirs_cache.get(value)
-            if ours_valid is not None and theirs_valid is not None:
-                valid_cache[value] = ours_valid | theirs_valid
-            else:
-                valid_cache.pop(value, None)
             changed = True
         if not changed:
             return self  # other ⊆ self: ⊕ is idempotent
-        return BlsCollection._adopt(self._pki, self._costs, merged, valid_cache)
+        return BlsCollection._adopt(self._pki, self._costs, merged)
 
     def has(self, value: Any, threshold: int) -> bool:
-        return len(self.signers_for(value)) >= threshold
+        slot = self._byvalue.get(value)
+        if slot is None:
+            return threshold <= 0
+        return slot[0].bit_count() >= threshold
 
     def signers_for(self, value: Any) -> FrozenSet[int]:
-        cached = self._valid_cache.get(value)
-        if cached is not None:
-            return cached
-        signers = self._byvalue.get(value, {})
-        digest = canonical_digest(value)
-        valid = frozenset(
-            signer
-            for signer, tag in signers.items()
-            if self._pki.verify_mac(signer, digest, tag)
-        )
-        self._valid_cache[value] = valid
-        return valid
+        slot = self._byvalue.get(value)
+        if slot is None:
+            return frozenset()
+        return _signers_of(slot[0])
 
     def cardinality(self) -> int:
         card = self._card_cache
         if card is None:
-            card = sum(len(signers) for signers in self._byvalue.values())
+            card = 0
+            for mask, extras in self._byvalue.values():
+                card += mask.bit_count()
+                if extras:
+                    card += len(extras)
             self._card_cache = card
         return card
 
@@ -240,13 +252,13 @@ class BlsCollection(Collection):
         return 8 + per_value * len(self._byvalue)
 
     # ------------------------------------------------------------------
-    def _frozen(self) -> FrozenSet[Tuple[Any, int, bytes]]:
+    def _frozen(self) -> FrozenSet:
         frozen = self._frozen_cache
         if frozen is None:
             frozen = frozenset(
-                (value, signer, tag)
-                for value, signers in self._byvalue.items()
-                for signer, tag in signers.items()
+                (value, mask,
+                 frozenset(extras.items()) if extras else None)
+                for value, (mask, extras) in self._byvalue.items()
             )
             self._frozen_cache = frozen
         return frozen
@@ -261,7 +273,8 @@ class BlsCollection(Collection):
         h1, h2 = self._hash_cache, other._hash_cache
         if h1 is not None and h2 is not None and h1 != h2:
             return False
-        # Nested dict equality is exactly same-(value, signer, tag) multiset.
+        # Slot equality is exactly same-(value, signer, tag) multiset:
+        # masks stand for canonical tags, extras carry the rest verbatim.
         return self._byvalue == other._byvalue
 
     def __hash__(self) -> int:
@@ -275,20 +288,47 @@ class BlsCollection(Collection):
         return f"BlsCollection({self.cardinality()} shares, {len(self._byvalue)} values)"
 
 
+def _classify(pki: Pki, value: Any, signers: Mapping[int, bytes]) -> _Slot:
+    """Split a raw signer->tag map into (canonical bitmask, forged extras).
+
+    A tag equal to the arena's canonical MAC for ``(signer, value)`` is a
+    valid signature and becomes a mask bit; anything else (wrong tag,
+    signer outside the PKI) is quarantined in ``extras``.
+    """
+    mask = 0
+    extras: Optional[Dict[int, bytes]] = None
+    digest = None
+    n = pki.n
+    for signer, tag in signers.items():
+        if 0 <= signer < n:
+            if digest is None:
+                digest = canonical_digest(value)
+            if pki.expected_mac(signer, digest) == tag:
+                mask |= 1 << signer
+                continue
+        if extras is None:
+            extras = {}
+        extras[signer] = tag
+    return (mask, extras)
+
+
 class BlsScheme(SignatureScheme):
     """Scheme factory for BLS-style multisignature collections."""
 
     def new(self, keypair: KeyPair, value: Any) -> BlsCollection:
+        pki = self.pki
+        if pki.owns(keypair):
+            # A share minted with the signer's own PKI-issued key is the
+            # canonical tag by construction: the slot is just the bit.
+            # The tag bytes themselves stay in the per-Pki arena and are
+            # only materialised if a verifier ever meets a forgery.
+            return BlsCollection._adopt(
+                pki, self.costs, {value: (1 << keypair.node_id, None)}
+            )
+        # Foreign keypair (not issued by this PKI): classify its tag
+        # honestly against the arena, like any received raw share.
         tag = keypair.mac(canonical_digest(value))
-        # A tag we just produced with the signer's own key is valid by
-        # construction: seed the validity memo so folding fresh shares
-        # (Algorithm 3) chains cached unions instead of re-verifying.
-        return BlsCollection._adopt(
-            self.pki,
-            self.costs,
-            {value: {keypair.node_id: tag}},
-            valid_cache={value: frozenset((keypair.node_id,))},
-        )
+        return BlsCollection(pki, self.costs, {value: {keypair.node_id: tag}})
 
     def empty(self) -> BlsCollection:
         return BlsCollection._adopt(self.pki, self.costs, {})

@@ -83,11 +83,15 @@ class Pki:
 
     Expected MACs are memoised per ``(signer, digest)``: keys are fixed
     for the execution (§2), so an entry is an immutable fact and is never
-    invalidated. A tag verified once by any collection is therefore never
-    re-derived by descendant collections during tree aggregation -- the
-    memo turns repeat verifications into one dict lookup. The cache is
-    cleared wholesale at a size cap to bound memory; it refills within
-    one aggregation wave.
+    invalidated. The memo doubles as the *interned tag arena* for the
+    bitmap-backed BLS collections: a mask bit in a collection stands for
+    "this signer contributed exactly the arena's canonical tag", so the
+    tag bytes live here once per ``(signer, digest)`` instead of being
+    copied into every aggregate. A tag verified once by any collection is
+    therefore never re-derived by descendant collections during tree
+    aggregation -- the memo turns repeat verifications into one dict
+    lookup. The cache is cleared wholesale at a size cap to bound memory;
+    it refills within one aggregation wave.
     """
 
     _MAC_CACHE_CAP = 1 << 20
@@ -109,6 +113,15 @@ class Pki:
             return self._keys[node_id]
         except KeyError:
             raise CryptoError(f"process {node_id} is not in the PKI") from None
+
+    def owns(self, keypair: "KeyPair") -> bool:
+        """True iff ``keypair`` is the very object this PKI issued.
+
+        Identity (not equality) on purpose: possession of the issued
+        object is the secret, so a reconstructed look-alike must go
+        through honest tag verification instead.
+        """
+        return self._keys.get(keypair.node_id) is keypair
 
     def expected_mac(self, node_id: int, digest: bytes) -> bytes:
         """Oracle: the MAC ``node_id`` would produce over ``digest``."""

@@ -13,7 +13,18 @@ from repro.config import ClusterParams, NetworkParams
 
 
 class Netem(Protocol):
-    """Interface: per-pair link parameters."""
+    """Interface: per-pair link parameters.
+
+    Shapers whose parameters depend on the pair only through a small
+    number of *link classes* (e.g. "any pair" for homogeneous scenarios,
+    "cluster a -> cluster b" for clustered ones) may additionally expose
+    ``link_key(src, dst) -> Hashable`` mapping a pair to its class. The
+    fabric then memoises ``params_between`` per class instead of per pair,
+    collapsing the memo from O(n^2) entries to O(classes) -- the flyweight
+    that matters at N=1000. The contract: two pairs with equal keys MUST
+    shape identically. Shapers without ``link_key`` are memoised per pair
+    as before.
+    """
 
     def params_between(self, src: int, dst: int) -> NetworkParams:
         """Link characteristics for messages from ``src`` to ``dst``."""
@@ -29,6 +40,10 @@ class HomogeneousNetem:
     def params_between(self, src: int, dst: int) -> NetworkParams:
         return self.params
 
+    def link_key(self, src: int, dst: int):
+        """One link class: every pair shapes identically."""
+        return 0
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"HomogeneousNetem({self.params.name})"
 
@@ -37,21 +52,24 @@ class ClusterNetem:
     """Cluster-based heterogeneous shaping (§7.9, ResilientDB scenario).
 
     Pairs inside a cluster get LAN-class parameters; pairs across clusters
-    get the configured inter-cluster parameters. Results are memoised since
-    the fabric queries per message.
+    get the configured inter-cluster parameters. The pair -> cluster-pair
+    map is precomputed so :meth:`link_key` is two tuple indexes.
     """
 
     def __init__(self, clusters: ClusterParams):
         self.clusters = clusters
-        self._cache: dict = {}
+        self._cluster_index = tuple(
+            clusters.cluster_of(process) for process in range(clusters.n)
+        )
 
     def params_between(self, src: int, dst: int) -> NetworkParams:
-        key = (src, dst)
-        params = self._cache.get(key)
-        if params is None:
-            params = self.clusters.params_between(src, dst)
-            self._cache[key] = params
-        return params
+        return self.clusters.params_between(src, dst)
+
+    def link_key(self, src: int, dst: int):
+        """Link class = ordered cluster pair (intra pairs share a class
+        per cluster; params_between collapses them to ``intra`` anyway)."""
+        index = self._cluster_index
+        return (index[src], index[dst])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ClusterNetem({self.clusters.name}, n={self.clusters.n})"

@@ -33,6 +33,11 @@ MatchFn = Callable[[Message], bool]
 class Endpoint:
     """Receiving side of one process."""
 
+    __slots__ = (
+        "sim", "node_id", "_inbox", "_waiters", "messages_delivered",
+        "bytes_delivered", "_queued", "max_queued",
+    )
+
     def __init__(self, sim: Simulator, node_id: int):
         self.sim = sim
         self.node_id = node_id
@@ -198,11 +203,18 @@ class Network:
         #: The multicast equivalence property test flips this off to force
         #: the sequential per-destination reference path.
         self.multicast_enabled = True
-        # Per-(src, dst) link-parameter memo in front of the shaper: every
-        # Netem in the library is static per pair, and the fabric queries
-        # per message. Invalidated via invalidate_links() when a
-        # reconfiguration swaps the shaper.
-        self._params_cache: Dict[Tuple[int, int], Any] = {}
+        # Link-parameter memo in front of the shaper: every Netem in the
+        # library is static, and the fabric queries per message. Keyed by
+        # the shaper's link *class* when it exposes ``link_key`` (one
+        # entry for a homogeneous scenario, O(clusters^2) for a clustered
+        # one -- never O(n^2) pairs), by (src, dst) pair otherwise.
+        # Swapping ``self.netem`` rebinds and clears the memo on the next
+        # send (see _rebind_netem); invalidate_links() clears explicitly.
+        self._params_cache: Dict[Any, Any] = {}
+        self._keyed_netem: Any = netem
+        self._link_key: Optional[Callable[[int, int], Any]] = getattr(
+            netem, "link_key", None
+        )
         #: Optional observers called as f(kind, msg, time) on "send",
         #: "deliver" and "drop" events (see repro.net.trace.MessageTrace).
         self.observers: List[Callable[[str, Message, float], None]] = []
@@ -274,7 +286,10 @@ class Network:
         if src == dst:
             self._deliver(msg)
             return msg
-        key = (src, dst)
+        if self.netem is not self._keyed_netem:
+            self._rebind_netem()
+        link_key = self._link_key
+        key = (src, dst) if link_key is None else link_key(src, dst)
         params = self._params_cache.get(key)
         if params is None:
             params = self.netem.params_between(src, dst)
@@ -374,8 +389,11 @@ class Network:
                     self._notify("drop", msg)
             self._uid = uid
             return msgs
-        cache = self._params_cache
         netem = self.netem
+        if netem is not self._keyed_netem:
+            self._rebind_netem()
+        cache = self._params_cache
+        link_key = self._link_key
         props: List[float] = []
         bandwidths: List[float] = []
         for dst in dsts:
@@ -392,7 +410,7 @@ class Network:
             self.messages_sent += 1
             if observers:
                 self._notify("send", msg)
-            key = (src, dst)
+            key = (src, dst) if link_key is None else link_key(src, dst)
             params = cache.get(key)
             if params is None:
                 params = netem.params_between(src, dst)
@@ -414,20 +432,39 @@ class Network:
                 schedule_call_at(done_times[i] + props[i], deliver, msg)
         return msgs
 
+    def _rebind_netem(self) -> None:
+        """Adopt a swapped shaper (reconfiguration, client-harness
+        wrapping): drop every memoised entry so stale bandwidth or
+        propagation values never price new traffic, and pick up the new
+        shaper's ``link_key`` (or lack of one)."""
+        netem = self.netem
+        self._keyed_netem = netem
+        self._link_key = getattr(netem, "link_key", None)
+        self._params_cache.clear()
+
     def invalidate_links(
         self, src: Optional[int] = None, dst: Optional[int] = None
     ) -> int:
         """Evict memoised link params for matching ``(src, dst)`` pairs.
 
-        The fabric memoises :meth:`Netem.params_between` per pair because
-        every shaper in the library is static -- but a reconfiguration that
+        The fabric memoises :meth:`Netem.params_between` because every
+        shaper in the library is static -- but a reconfiguration that
         swaps the shaper (see :mod:`repro.topology.reconfig`) breaks that
         assumption, and must call this so no message is priced with stale
         bandwidth or propagation values. ``None`` acts as a wildcard;
-        returns the number of evicted pairs.
+        returns the number of evicted entries.
+
+        With a class-keyed memo (the shaper exposes ``link_key``), entries
+        cannot be matched back to individual pairs, so a filtered eviction
+        conservatively clears the whole memo: over-eviction merely costs a
+        re-query, under-eviction would misprice messages.
         """
         cache = self._params_cache
-        if src is None and dst is None:
+        if self.netem is not self._keyed_netem:
+            count = len(cache)
+            self._rebind_netem()
+            return count
+        if (src is None and dst is None) or self._link_key is not None:
             count = len(cache)
             cache.clear()
             return count

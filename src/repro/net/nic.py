@@ -42,6 +42,13 @@ class Nic:
     the knob the uplink-model ablation bench sweeps.
     """
 
+    __slots__ = (
+        "sim", "name", "lanes", "_lane_busy_until", "_lane_intervals",
+        "_bytes_log", "_inflight_done", "bytes_sent", "messages_sent",
+        "total_queueing_delay", "total_tx_time", "max_backlog",
+        "max_queue_depth", "_created_at",
+    )
+
     def __init__(self, sim: Simulator, name: str = "nic", lanes: int = 1):
         if lanes < 1:
             raise NetworkError(f"need at least one lane, got {lanes}")

@@ -21,7 +21,12 @@ structurally central (§3.3.2, §7):
   ``end_to_end_kauri_n100`` / ``end_to_end_kauri_n400`` at the paper's
   large scales -- the headline numbers for the scale-out fast path
   (fabric multicast + timer-wheel timeouts + direct delivery in
-  fault-free runs).
+  fault-free runs) -- and ``end_to_end_kauri_n1000`` beyond them: the
+  barrier the bitmap signer sets, flyweight replica state, and batched
+  event dispatch exist to break. The large-N end-to-end benches also
+  record peak heap memory (``peak_mb``) from a separate *untimed*
+  ``tracemalloc`` pass, because allocation tracing slows the traced run
+  several-fold and must never contaminate the throughput number.
 
 Each bench reports the best of ``repeats`` passes -- the standard
 microbench discipline: the minimum-interference pass is the one that
@@ -29,32 +34,42 @@ measures the code rather than the machine.
 
 Results are written as ``BENCH_core.json`` in a stable schema::
 
-    {bench_name: {"value": float, "unit": str, "n": int, "seed": int}}
+    {bench_name: {"value": float, "unit": str, "n": int, "seed": int,
+                  "peak_mb": float | null}}
 
 so the trajectory accumulates across PRs; ``compare_to_baseline`` is
-the CI hook that fails a run whose event-loop throughput regressed.
+the CI hook that fails a run whose event-loop throughput regressed --
+or whose guarded peak memory grew past its own tolerance.
 Wall-clock numbers are machine-dependent -- only compare within one
-machine/runner generation.
+machine/runner generation. Peak memory is far more stable across
+machines (it counts bytes, not cycles), so its tolerance can be tighter.
 """
 
 from __future__ import annotations
 
 import json
 import time
+import tracemalloc
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
-BENCH_SCHEMA_NOTE = "{bench_name: {value, unit, n, seed}}"
+BENCH_SCHEMA_NOTE = "{bench_name: {value, unit, n, seed, peak_mb}}"
 
 
 @dataclass(frozen=True)
 class BenchResult:
-    """One bench's outcome; ``value`` is a throughput (higher is better)."""
+    """One bench's outcome; ``value`` is a throughput (higher is better).
+
+    ``peak_mb`` -- peak traced heap (MiB) over one untimed pass of the
+    same workload -- is recorded only by benches where the footprint is
+    the point (the large-N end-to-end runs); ``None`` elsewhere.
+    """
 
     value: float
     unit: str
     n: int
     seed: int
+    peak_mb: Optional[float] = None
 
 
 # ---------------------------------------------------------------------------
@@ -198,6 +213,7 @@ def bench_end_to_end(
     duration: float = 120.0,
     seed: int = 0,
     repeats: int = 3,
+    measure_memory: bool = False,
 ) -> BenchResult:
     """Committed blocks per second of wall clock for one Kauri deployment.
 
@@ -206,11 +222,16 @@ def bench_end_to_end(
     not touch) stays outside the timed region, so quick CI workloads
     with few commits measure the same steady-state number as the full
     suite instead of amortising setup differently.
+
+    With ``measure_memory``, one additional *untimed* pass runs under
+    ``tracemalloc`` and the peak traced heap (construction included --
+    per-node state is exactly what the flyweight work bounds) is reported
+    as ``peak_mb``. The pass is separate because tracing slows execution
+    several-fold, which would corrupt the throughput number.
     """
     from repro.runtime.cluster import Cluster
 
-    best = 0.0
-    for _ in range(repeats):
+    def one_pass() -> tuple:
         cluster = Cluster(n=n, mode="kauri", scenario="global", seed=seed)
         start = time.perf_counter()
         cluster.start()
@@ -219,8 +240,25 @@ def bench_end_to_end(
         committed = cluster.metrics.committed_blocks
         if committed == 0:
             raise AssertionError("end-to-end bench committed nothing")
+        return committed, elapsed
+
+    best = 0.0
+    for _ in range(repeats):
+        committed, elapsed = one_pass()
         best = max(best, committed / elapsed)
-    return BenchResult(best, "blocks/s-wall", n, seed)
+    peak_mb = None
+    if measure_memory:
+        was_tracing = tracemalloc.is_tracing()
+        tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            one_pass()
+            _current, peak = tracemalloc.get_traced_memory()
+            peak_mb = round(peak / (1024.0 * 1024.0), 2)
+        finally:
+            if not was_tracing:
+                tracemalloc.stop()
+    return BenchResult(best, "blocks/s-wall", n, seed, peak_mb=peak_mb)
 
 
 # ---------------------------------------------------------------------------
@@ -243,10 +281,12 @@ def run_benches(
     mcast_rounds = 40 if quick else 200
     commits = 10 if quick else 30
     commits_100 = 5 if quick else 15
-    # Not shrunk for --quick: the first instance at N=400 pays the cold
-    # crypto-memo ramp, so short runs measure the ramp, not steady state.
-    # The full workload is ~8s wall and is the number CI gates on.
+    # Not shrunk for --quick: the first instance at N=400/N=1000 pays the
+    # cold crypto-memo ramp, so short runs measure the ramp, not steady
+    # state (a 3-commit N=1000 run sits ~35% below the 6-commit number).
+    # These are the workloads CI gates on.
     commits_400 = 8
+    commits_1000 = 6
     repeats = 2 if quick else 3
     suite = {
         "event_loop": lambda: bench_event_loop(
@@ -269,7 +309,11 @@ def run_benches(
         ),
         "end_to_end_kauri_n400": lambda: bench_end_to_end(
             n=400, max_commits=commits_400, seed=seed,
-            repeats=max(2, repeats - 1),
+            repeats=max(2, repeats - 1), measure_memory=True,
+        ),
+        "end_to_end_kauri_n1000": lambda: bench_end_to_end(
+            n=1000, max_commits=commits_1000, seed=seed,
+            repeats=max(2, repeats - 1), measure_memory=True,
         ),
     }
     if only is not None:
@@ -303,6 +347,7 @@ GUARDED_BENCHES = (
     "multicast_fanout",
     "end_to_end_kauri_n100",
     "end_to_end_kauri_n400",
+    "end_to_end_kauri_n1000",
 )
 
 
@@ -311,8 +356,17 @@ def compare_to_baseline(
     baseline: Dict[str, BenchResult],
     keys: tuple = GUARDED_BENCHES,
     tolerance: float = 0.30,
+    mem_tolerance: float = 0.15,
 ) -> List[str]:
-    """Regressions of more than ``tolerance`` on the guarded benches.
+    """Regressions beyond tolerance on the guarded benches.
+
+    Two independent budgets per bench: throughput may not fall more than
+    ``tolerance`` below baseline, and peak memory (where both sides
+    recorded it) may not grow more than ``mem_tolerance`` above it. The
+    memory tolerance is tighter than the throughput one on purpose --
+    traced peak heap counts bytes, not cycles, so it barely varies across
+    machines or load, and a footprint regression at N=1000 is exactly the
+    failure mode that silently re-raises the scale barrier.
 
     Returns human-readable problem strings (empty = pass). Only benches
     present in both result sets are compared, so adding a bench never
@@ -327,5 +381,17 @@ def compare_to_baseline(
             problems.append(
                 f"{key}: {new:,.0f} {results[key].unit} is "
                 f"{(1 - new / old):.0%} below baseline {old:,.0f}"
+            )
+        new_mem, old_mem = results[key].peak_mb, baseline[key].peak_mb
+        if (
+            new_mem is not None
+            and old_mem is not None
+            and old_mem > 0
+            and new_mem > (1.0 + mem_tolerance) * old_mem
+        ):
+            problems.append(
+                f"{key}: peak memory {new_mem:,.1f} MiB is "
+                f"{(new_mem / old_mem - 1):.0%} above baseline "
+                f"{old_mem:,.1f} MiB"
             )
     return problems

@@ -99,12 +99,22 @@ class _ClientAwareNetem:
     def __init__(self, base, n: int):
         self._base = base
         self._n = n
+        self._base_link_key = getattr(base, "link_key", None)
 
     def _map(self, process: int) -> int:
         return process if process < self._n else process % self._n
 
     def params_between(self, src: int, dst: int):
         return self._base.params_between(self._map(src), self._map(dst))
+
+    def link_key(self, src: int, dst: int):
+        """A client shares its access point's link class by construction,
+        so mapped ids delegate to the base shaper's classes (or stand in
+        as the pair key when the base has none)."""
+        base_key = self._base_link_key
+        if base_key is None:
+            return (self._map(src), self._map(dst))
+        return base_key(self._map(src), self._map(dst))
 
 
 class ClientHarness:

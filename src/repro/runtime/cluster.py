@@ -19,6 +19,7 @@ from repro.config import (
 )
 from repro.core.modes import ModeSpec, mode_spec, protocol_class, protocol_kind
 from repro.core.node import ProtocolNode
+from repro.core.smr import ReplicaShared, SmrNode
 from repro.core.perfmodel import PerfModel
 from repro.crypto.keys import Pki
 from repro.crypto.signature import make_scheme
@@ -118,22 +119,44 @@ class Cluster:
         default_factory: Callable[..., ProtocolNode] = ProtocolNode
         if protocol_kind(self.mode.protocol) == "node":
             default_factory = protocol_class(self.mode.protocol)
+        #: One flyweight of deployment-wide immutable replica config,
+        #: shared by every SmrNode (built lazily: a pure-PBFT deployment
+        #: never resolves an SmrNode strategy).
+        self.shared: Optional[ReplicaShared] = None
         self.nodes: List[ProtocolNode] = []
         for node_id in range(n):
             factory = byzantine.get(node_id, default_factory)
             workload = workload_factory(node_id) if workload_factory else None
-            node = factory(
-                node_id=node_id,
-                sim=self.sim,
-                network=self.network,
-                scheme=self.scheme,
-                policy=self.policy,
-                config=self.config,
-                mode=self.mode,
-                model_factory=self.model_for,
-                metrics=self.metrics,
-                workload=workload,
-            )
+            if isinstance(factory, type) and issubclass(factory, SmrNode):
+                if self.shared is None:
+                    self.shared = ReplicaShared.build(
+                        scheme=self.scheme,
+                        policy=self.policy,
+                        config=self.config,
+                        mode=self.mode,
+                        model_factory=self.model_for,
+                        metrics=self.metrics,
+                    )
+                node = factory(
+                    node_id=node_id,
+                    sim=self.sim,
+                    network=self.network,
+                    workload=workload,
+                    shared=self.shared,
+                )
+            else:
+                node = factory(
+                    node_id=node_id,
+                    sim=self.sim,
+                    network=self.network,
+                    scheme=self.scheme,
+                    policy=self.policy,
+                    config=self.config,
+                    mode=self.mode,
+                    model_factory=self.model_for,
+                    metrics=self.metrics,
+                    workload=workload,
+                )
             self.nodes.append(node)
             if node_id in byzantine:
                 self.faults.mark_byzantine(node_id)

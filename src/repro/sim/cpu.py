@@ -36,6 +36,12 @@ class Cpu:
         yield from node.cpu.consume(cost_model.bls_verify)
     """
 
+    __slots__ = (
+        "sim", "name", "_busy", "_busy_since", "_queue",
+        "_interval_starts", "_interval_ends", "busy_time",
+        "jobs_completed", "jobs_cancelled", "_created_at",
+    )
+
     def __init__(self, sim: Simulator, name: str = "cpu"):
         self.sim = sim
         self.name = name

@@ -1,30 +1,39 @@
 """Event-heap simulator core.
 
-The :class:`Simulator` owns a virtual clock and three event stores that
+The :class:`Simulator` owns a virtual clock and four event stores that
 together hold every scheduled callback. Everything else in the library
 (network links, CPUs, protocol state machines) is built on top of the
 ``schedule*`` family.
 
 The simulator is single-threaded and deterministic: events scheduled for
 the same instant fire in scheduling order (FIFO), enforced by a global
-sequence counter. The three stores exist purely so each scheduling pattern
+sequence counter. The four stores exist purely so each scheduling pattern
 pays only for what it needs -- the merged firing order is always exactly
 ``(time, seq)``, as if everything lived on one heap:
 
 - **Heap** -- the general store. Entries are plain tuples, either
   ``(time, seq, handle)`` for cancellable events or handle-free
-  ``(time, seq, fn, args)`` for the fire-and-forget callbacks the network
-  fabric schedules per message (``seq`` is unique, so ``heapq`` never
-  compares beyond it).
+  ``(time, seq, fn, args)`` for fire-and-forget callbacks whose time is
+  out of order with the run queue's tail (``seq`` is unique, so ``heapq``
+  never compares beyond it).
 - **Now-queue** -- a FIFO for :meth:`Simulator.schedule_now`: zero-delay,
   never-cancelled continuations (task wakeups, signal deliveries). These
   are appended in ``(time, seq)`` order by construction, so a deque
   replaces O(log n) heap traffic with O(1) appends/pops.
+- **Run queue** -- a deque whose entries are nondecreasing in
+  ``(time, seq)`` *by invariant*: :meth:`Simulator.schedule_call` /
+  :meth:`schedule_call_at` append here whenever the new callback does not
+  sort before the current tail, which covers the fabric's bread and
+  butter (a multicast's chained serialization completions and deliveries
+  arrive as monotone runs) -- and falls back to the heap otherwise. Timer
+  -wheel flushes absorb whole sorted batches the same way. Popping is
+  O(1), and same-timestamp runs drain in one pass of the firing loop
+  without per-event heap traffic.
 - **Timer wheel** -- :mod:`repro.sim.wheel`, behind
   :meth:`Simulator.schedule_timeout`: timeouts that are overwhelmingly
   cancelled (pacemaker watchdogs, impatient receives) park in hashed time
   slots where cancellation is one dict delete; only survivors are flushed
-  into the heap, carrying their original ``(time, seq)``.
+  into the run queue or heap, carrying their original ``(time, seq)``.
 """
 
 from __future__ import annotations
@@ -106,6 +115,10 @@ class Simulator:
         self._heap: List[tuple] = []
         #: Zero-delay raw entries (time, seq, fn, args), FIFO == (time, seq).
         self._now_queue: Deque[tuple] = deque()
+        #: Sorted-by-construction entries, nondecreasing (time, seq): raw
+        #: (time, seq, fn, args) appended by the schedule_call fast path
+        #: and (time, seq, handle) batches absorbed from wheel flushes.
+        self._run_queue: Deque[tuple] = deque()
         self._wheel = TimerWheel(self)
         self._seq = 0
         self._running = False
@@ -147,11 +160,20 @@ class Simulator:
         For fire-and-forget callbacks on hot paths (message deliveries,
         serialization completions) where allocating and tracking a handle
         is pure overhead. Firing order is identical to :meth:`schedule`.
+        When the new callback does not sort before the run queue's tail --
+        the overwhelmingly common case for a multicast's monotone
+        completion/delivery runs -- it is appended there in O(1) instead
+        of paying O(log n) heap traffic.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        time = self.now + delay
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+        runq = self._run_queue
+        if not runq or time >= runq[-1][0]:
+            runq.append((time, self._seq, fn, args))
+        else:
+            heapq.heappush(self._heap, (time, self._seq, fn, args))
         self._pending += 1
 
     def schedule_call_at(self, time: float, fn: Callable[..., None], *args: Any) -> None:
@@ -161,7 +183,11 @@ class Simulator:
                 f"cannot schedule into the past (time={time}, now={self.now})"
             )
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, fn, args))
+        runq = self._run_queue
+        if not runq or time >= runq[-1][0]:
+            runq.append((time, self._seq, fn, args))
+        else:
+            heapq.heappush(self._heap, (time, self._seq, fn, args))
         self._pending += 1
 
     def schedule_now(self, fn: Callable[..., None], *args: Any) -> None:
@@ -197,6 +223,32 @@ class Simulator:
         self._pending += 1
         return handle
 
+    def _absorb_timeouts(self, handles: list) -> None:
+        """Take a ``(time, seq)``-sorted batch of flushed wheel survivors.
+
+        Each survivor extends the run queue with an O(1) append when it
+        does not sort before the current tail; out-of-order stragglers
+        (possible when a coarse wheel slot emitted later times before a
+        fine one) fall back to heap pushes. Original firing keys are kept,
+        so the merged pop order is bit-identical to heap-only flushing.
+        """
+        runq = self._run_queue
+        heap = self._heap
+        for handle in handles:
+            if runq:
+                tail = runq[-1]
+                tail_time = tail[0]
+                in_order = handle.time > tail_time or (
+                    handle.time == tail_time and handle.seq > tail[1]
+                )
+            else:
+                in_order = True
+            if in_order:
+                handle._in_runq = True
+                runq.append((handle.time, handle.seq, handle))
+            else:
+                heapq.heappush(heap, (handle.time, handle.seq, handle))
+
     def _note_cancelled(self) -> None:
         """Bookkeeping hook for lazy (in-heap) cancellations.
 
@@ -228,23 +280,29 @@ class Simulator:
     # Execution
     # ------------------------------------------------------------------
     def _next_entry(self, pop: bool):
-        """The next live entry across heap, now-queue and wheel, or ``None``.
+        """The next live entry across every store, or ``None``.
 
-        Drains lazily-cancelled heap tombstones on the way and flushes due
-        wheel slots into the heap, so the returned entry is globally next
-        in ``(time, seq)`` order.
+        Drains lazily-cancelled heap/run-queue tombstones on the way and
+        flushes due wheel slots, so the returned entry is globally next in
+        ``(time, seq)`` order.
         """
         heap = self._heap
         queue = self._now_queue
+        runq = self._run_queue
         wheel = self._wheel
         while True:
             head = queue[0] if queue else None
             top = heap[0] if heap else None
             # Tuple comparison decides on (time, seq); seq is unique, so the
             # heterogeneous third elements are never compared.
-            from_heap = top is not None and (head is None or top < head)
-            if from_heap:
+            src = 0  # 0: now-queue, 1: heap, 2: run queue
+            if top is not None and (head is None or top < head):
                 head = top
+                src = 1
+            rtop = runq[0] if runq else None
+            if rtop is not None and (head is None or rtop < head):
+                head = rtop
+                src = 2
             if wheel._due:
                 # A due slot may hold a timer ordered before `head`.
                 limit = wheel._next_due if head is None else head[0]
@@ -253,13 +311,19 @@ class Simulator:
                     continue
             if head is None:
                 return None
-            if from_heap:
+            if src == 1:
                 if len(head) == 3 and head[2].cancelled:
                     heapq.heappop(heap)
                     self._cancelled_in_heap -= 1
                     continue
                 if pop:
                     heapq.heappop(heap)
+            elif src == 2:
+                if len(head) == 3 and head[2].cancelled:
+                    runq.popleft()  # cancel already fixed the counters
+                    continue
+                if pop:
+                    runq.popleft()
             elif pop:
                 queue.popleft()
             return head
@@ -319,6 +383,7 @@ class Simulator:
         # heap list in place).
         heap = self._heap
         queue = self._now_queue
+        runq = self._run_queue
         wheel = self._wheel
         heappop = heapq.heappop
         try:
@@ -328,9 +393,14 @@ class Simulator:
                 top = heap[0] if heap else None
                 # Tuple comparison decides on (time, seq); seq is unique,
                 # so the heterogeneous third elements are never compared.
-                from_heap = top is not None and (head is None or top < head)
-                if from_heap:
+                src = 0  # 0: now-queue, 1: heap, 2: run queue
+                if top is not None and (head is None or top < head):
                     head = top
+                    src = 1
+                rtop = runq[0] if runq else None
+                if rtop is not None and (head is None or rtop < head):
+                    head = rtop
+                    src = 2
                 if wheel._due:
                     # A due slot may hold a timer ordered before `head`.
                     limit = wheel._next_due if head is None else head[0]
@@ -339,20 +409,26 @@ class Simulator:
                         continue
                 if head is None:
                     break
-                if from_heap:
+                raw = True
+                if src == 1:
                     raw = len(head) == 4
                     if not raw and head[2].cancelled:
                         heappop(heap)
                         self._cancelled_in_heap -= 1
                         continue
-                else:
-                    raw = True
+                elif src == 2:
+                    raw = len(head) == 4
+                    if not raw and head[2].cancelled:
+                        runq.popleft()  # cancel already fixed the counters
+                        continue
                 if until is not None and head[0] > until:
                     break
-                if from_heap:
+                if src == 0:
+                    queue.popleft()
+                elif src == 1:
                     heappop(heap)
                 else:
-                    queue.popleft()
+                    runq.popleft()
                 # -- fire.
                 time = head[0]
                 if time < self.now:
@@ -377,6 +453,48 @@ class Simulator:
                         raise
                     self.failures.append(exc)
                 processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+                # -- drain: a same-timestamp run at the head of the run
+                # queue fires in one pass, re-checking only that no other
+                # store's head (all ordered after it by seq at equal time)
+                # slipped in front. Callbacks may append to any store or
+                # stop the clock mid-run; every peek below re-reads live
+                # state, so the drain stays bit-exact with the full select.
+                while runq and not self._stopped:
+                    nxt = runq[0]
+                    if (
+                        nxt[0] != time
+                        or (heap and heap[0] < nxt)
+                        or (queue and queue[0] < nxt)
+                        or wheel._next_due <= time
+                    ):
+                        break
+                    if len(nxt) == 3:
+                        handle = nxt[2]
+                        if handle.cancelled:
+                            runq.popleft()
+                            continue
+                        handle.fired = True
+                        fn = handle.fn
+                        args = handle.args
+                        handle.fn = None
+                        handle.args = ()
+                    else:
+                        fn = nxt[2]
+                        args = nxt[3]
+                    runq.popleft()
+                    self._pending -= 1
+                    self._events_processed += 1
+                    try:
+                        fn(*args)
+                    except Exception as exc:
+                        if self.strict:
+                            raise
+                        self.failures.append(exc)
+                    processed += 1
+                    if max_events is not None and processed >= max_events:
+                        break
                 if max_events is not None and processed >= max_events:
                     break
             if until is not None and not self._stopped and self.now < until:

@@ -31,7 +31,10 @@ from __future__ import annotations
 
 import heapq
 import math
+from operator import attrgetter
 from typing import Any, Callable, Dict, List, Tuple
+
+_TIME_SEQ = attrgetter("time", "seq")
 
 #: Slot widths per level, seconds. Powers of two keep ``time / width``
 #: exact in binary floating point; consecutive levels differ by 64x, so a
@@ -54,7 +57,10 @@ class TimeoutHandle:
     heap's lazy-tombstone protocol.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "_wheel", "_slot")
+    __slots__ = (
+        "time", "seq", "fn", "args", "cancelled", "fired", "_wheel", "_slot",
+        "_in_runq",
+    )
 
     def __init__(
         self,
@@ -72,6 +78,7 @@ class TimeoutHandle:
         self.fired = False
         self._wheel = wheel
         self._slot: Any = None  # owning slot dict while parked in the wheel
+        self._in_runq = False  # flushed into the run queue (not the heap)
 
     def cancel(self) -> None:
         """Prevent the callback from running; idempotent, no-op if fired."""
@@ -82,12 +89,16 @@ class TimeoutHandle:
         self.args = ()
         slot = self._slot
         if slot is not None:
-            # Parked: remove from the wheel, never reaches the heap.
+            # Parked: remove from the wheel, never reaches any store.
             del slot[self.seq]
             self._slot = None
             wheel = self._wheel
             wheel._count -= 1
             wheel._sim._pending -= 1
+        elif self._in_runq:
+            # Flushed into the run queue: the entry is skipped on pop;
+            # only the live counter needs adjusting (no heap tombstone).
+            self._wheel._sim._pending -= 1
         else:
             # Already flushed into the main heap: lazy-cancel there.
             self._wheel._sim._note_cancelled()
@@ -150,17 +161,18 @@ class TimerWheel:
     def flush_due(self, limit: float) -> None:
         """Empty every slot starting at or before ``limit``.
 
-        Survivors in a due fine (level-0) slot move to the simulator's heap
-        as plain ``(time, seq, handle)`` entries -- their original firing
-        key, so merged pop order is unchanged. Survivors in a coarser due
-        slot cascade to a strictly finer level when their remaining delay
-        allows, and go straight to the heap otherwise (which also bounds
-        the work when the simulator jumps far ahead in one step).
+        Survivors keep their original ``(time, seq)`` firing key, so merged
+        pop order is unchanged. A whole flush is handed to the simulator as
+        one ``(time, seq)``-sorted batch (:meth:`Simulator._absorb_timeouts`):
+        survivors extend the sorted run queue with O(1) appends and only
+        fall back to heap pushes when the run queue's tail is already past
+        them. Survivors in a coarser due slot cascade to a strictly finer
+        level when their remaining delay allows (which also bounds the work
+        when the simulator jumps far ahead in one step).
         """
         sim = self._sim
         due = self._due
-        heap = sim._heap
-        push = heapq.heappush
+        survivors: List[TimeoutHandle] = []
         while due and due[0][0] <= limit:
             _start, level, index = heapq.heappop(due)
             slot = self._levels[level].pop(index)
@@ -174,9 +186,16 @@ class TimerWheel:
                         self._put(new_level, handle)
                         continue
                 handle._slot = None
-                push(heap, (handle.time, handle.seq, handle))
+                survivors.append(handle)
                 self._count -= 1
         self._next_due = due[0][0] if due else math.inf
+        if survivors:
+            # Slot dicts iterate in insertion (seq) order, not time order,
+            # and coarse slots can emit later times than finer ones: sort
+            # the batch once so the absorb step sees a monotone run.
+            if len(survivors) > 1:
+                survivors.sort(key=_TIME_SEQ)
+            sim._absorb_timeouts(survivors)
 
     def __len__(self) -> int:
         return self._count

@@ -176,25 +176,53 @@ def test_end_to_end_runs_are_byte_identical(mode, n, lanes, crashes, seed):
 # Satellites: link-param invalidation and purge pruning dead waiters
 # ---------------------------------------------------------------------------
 
+class _PairKeyedNetem:
+    """A shaper without ``link_key``: the fabric memoises per (src, dst)."""
+
+    def __init__(self, params):
+        self.params = params
+
+    def params_between(self, src, dst):
+        return self.params
+
+
 class TestInvalidateLinks:
-    def _warm(self):
+    def _warm(self, netem=None):
         sim = Simulator()
-        net = Network(sim, HomogeneousNetem(NetworkParams("slow", rtt=0.1, bandwidth_bps=1_000_000.0)))
+        if netem is None:
+            netem = HomogeneousNetem(
+                NetworkParams("slow", rtt=0.1, bandwidth_bps=1_000_000.0)
+            )
+        net = Network(sim, netem)
         for node in range(4):
             net.register(node)
         for dst in (1, 2, 3):
             net.send(0, dst, "warm", None, 10)
         sim.run()
-        assert len(net._params_cache) == 3
         return sim, net
 
-    def test_wildcard_clears_everything(self):
+    def test_class_keyed_memo_stays_one_entry(self):
+        """A homogeneous shaper has one link class: three warmed pairs
+        share a single memo entry (the N=1000 flyweight)."""
         _sim, net = self._warm()
-        assert net.invalidate_links() == 3
+        assert len(net._params_cache) == 1
+        assert net.invalidate_links() == 1
         assert not net._params_cache
 
-    def test_filtered_eviction(self):
+    def test_filtered_eviction_on_class_keys_clears_conservatively(self):
+        """Class keys cannot be matched back to pairs, so a filtered
+        eviction drops the whole memo rather than risk a stale entry."""
         _sim, net = self._warm()
+        assert net.invalidate_links(dst=2) == 1
+        assert not net._params_cache
+
+    def test_filtered_eviction_on_pair_keys(self):
+        _sim, net = self._warm(
+            _PairKeyedNetem(
+                NetworkParams("slow", rtt=0.1, bandwidth_bps=1_000_000.0)
+            )
+        )
+        assert len(net._params_cache) == 3
         assert net.invalidate_links(dst=2) == 1
         assert (0, 2) not in net._params_cache
         assert net.invalidate_links(src=0) == 2
@@ -214,11 +242,30 @@ class TestInvalidateLinks:
         evicted = swap_scenario(
             net, HomogeneousNetem(NetworkParams("fast", rtt=0.002, bandwidth_bps=1e9))
         )
-        assert evicted == 3
+        assert evicted == 1
         net.send(0, 1, "after", None, 1000)
         sim.run()
         # 1064 bytes at 1 Gb/s is ~8.5us; on the stale 1 Mb/s params the
         # serialization alone would be ~8.5ms.
+        assert arrivals[0] == pytest.approx(0.001 + 1064 * 8 / 1e9)
+
+    def test_direct_shaper_swap_rebinds_automatically(self):
+        """Swapping ``network.netem`` without calling invalidate_links
+        (the client harness does this) must still reprice traffic: the
+        fabric rebinds on the next send."""
+        sim, net = self._warm()
+        arrivals = []
+
+        def receiver():
+            msg = yield from net.endpoint(1).receive("after")
+            arrivals.append(sim.now - msg.sent_at)
+
+        spawn(sim, receiver())
+        net.netem = HomogeneousNetem(
+            NetworkParams("fast", rtt=0.002, bandwidth_bps=1e9)
+        )
+        net.send(0, 1, "after", None, 1000)
+        sim.run()
         assert arrivals[0] == pytest.approx(0.001 + 1064 * 8 / 1e9)
 
 

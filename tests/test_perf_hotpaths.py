@@ -14,12 +14,16 @@ Two kinds of protection:
   entries the Python merge loop actually walks.
 """
 
+import functools
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config import KB
-from repro.crypto.bls import MERGE_STATS, BlsScheme
+from repro.crypto.bls import MERGE_STATS, BlsCollection, BlsScheme
 from repro.crypto.costs import BLS_COSTS
-from repro.crypto.keys import Pki
+from repro.crypto.keys import Pki, canonical_digest
 from repro.runtime.experiment import run_experiment
 
 
@@ -142,3 +146,166 @@ def test_combine_leaves_operands_untouched():
     assert a.signers_for(value) == frozenset({1})
     assert b.signers_for(value) == frozenset({2})
     assert a.cardinality() == 1 and b.cardinality() == 1
+
+
+# ---------------------------------------------------------------------------
+# Differential property tests: bitmap slots vs a dict-backed reference
+# ---------------------------------------------------------------------------
+_REF_N = 8
+_REF_PKI = Pki(_REF_N)
+_REF_SCHEME = BlsScheme(_REF_PKI, BLS_COSTS)
+_REF_VALUES = ("a", "b", "c")
+
+
+def _is_canonical(value, signer, tag):
+    if not 0 <= signer < _REF_N:
+        return False
+    return _REF_PKI.expected_mac(signer, canonical_digest(value)) == tag
+
+
+class _DictRefBls:
+    """Executable spec for :class:`BlsCollection` merge semantics.
+
+    Plain ``value -> {signer: tag}`` dicts implementing the documented
+    rules directly -- a canonical tag shadows a forged one for the same
+    signer, and between two forged tags the accumulator's entry wins --
+    with none of the bitmask/arena machinery under test.
+    """
+
+    def __init__(self):
+        self.byvalue = {}
+
+    def absorb(self, piece):
+        for value, entries in piece.items():
+            mine = self.byvalue.setdefault(value, {})
+            for signer, tag in entries.items():
+                old = mine.get(signer)
+                if old is None or (
+                    _is_canonical(value, signer, tag)
+                    and not _is_canonical(value, signer, old)
+                ):
+                    mine[signer] = tag
+
+    def signers_for(self, value):
+        return frozenset(
+            signer
+            for signer, tag in self.byvalue.get(value, {}).items()
+            if _is_canonical(value, signer, tag)
+        )
+
+    def cardinality(self):
+        return sum(len(entries) for entries in self.byvalue.values())
+
+    def extras_for(self, value):
+        return {
+            signer: tag
+            for signer, tag in self.byvalue.get(value, {}).items()
+            if not _is_canonical(value, signer, tag)
+        }
+
+
+# A raw entry is (value, signer, kind); "alien" shifts the signer outside
+# the PKI, the two forged kinds exercise forged-vs-forged precedence.
+_raw_entries = st.lists(
+    st.tuples(
+        st.sampled_from(_REF_VALUES),
+        st.integers(min_value=0, max_value=_REF_N - 1),
+        st.sampled_from(["honest", "forged", "forged2", "alien"]),
+    ),
+    min_size=1,
+    max_size=4,
+)
+_raw_pieces = st.lists(_raw_entries, max_size=8)
+
+
+def _materialise(raw):
+    piece = {}
+    for value, signer, kind in raw:
+        if kind == "honest":
+            tag = _REF_PKI.keypair(signer).mac(canonical_digest(value))
+        elif kind == "alien":
+            signer = _REF_N + signer
+            tag = b"\x0a" * 32
+        else:
+            tag = (b"\x01" if kind == "forged" else b"\x02") * 32
+        piece.setdefault(value, {})[signer] = tag
+    return piece
+
+
+@settings(max_examples=80, deadline=None)
+@given(_raw_pieces)
+def test_bitmap_collection_matches_dict_reference(raw_pieces):
+    """Bitmap-backed merges agree with the dict model after *every* step
+    of an arbitrary fold over honest, forged, and out-of-PKI shares."""
+    ref = _DictRefBls()
+    acc = _REF_SCHEME.empty()
+    for raw in raw_pieces:
+        piece = _materialise(raw)
+        acc = acc.combine(BlsCollection(_REF_PKI, BLS_COSTS, piece))
+        ref.absorb(piece)
+        for value in _REF_VALUES:
+            assert acc.signers_for(value) == ref.signers_for(value)
+            for threshold in (1, 3, _REF_N):
+                assert acc.has(value, threshold) == (
+                    len(ref.signers_for(value)) >= threshold
+                )
+        assert acc.cardinality() == ref.cardinality()
+        assert acc.values() == frozenset(ref.byvalue)
+    # The quarantined extras match the reference exactly, tag bytes
+    # included -- forged entries stay detectable, never silently dropped.
+    for value in _REF_VALUES:
+        slot = acc._byvalue.get(value)
+        extras = dict(slot[1]) if slot and slot[1] else {}
+        assert extras == ref.extras_for(value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_raw_pieces, st.randoms(use_true_random=False))
+def test_bitmap_merge_order_is_query_invariant(raw_pieces, rng):
+    """Any two fold orders (tree shapes!) answer all quorum queries the
+    same, even with forged and alien shares in the mix."""
+    pieces = [
+        BlsCollection(_REF_PKI, BLS_COSTS, _materialise(raw))
+        for raw in raw_pieces
+    ]
+    shuffled = list(pieces)
+    rng.shuffle(shuffled)
+    fold = lambda parts: functools.reduce(
+        lambda x, y: x.combine(y), parts, _REF_SCHEME.empty()
+    )
+    a, b = fold(pieces), fold(shuffled)
+    for value in _REF_VALUES:
+        assert a.signers_for(value) == b.signers_for(value)
+    assert a.cardinality() == b.cardinality()
+    assert a.values() == b.values()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.tuples(
+                st.sampled_from(_REF_VALUES),
+                st.integers(min_value=0, max_value=_REF_N - 1),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        max_size=8,
+    )
+)
+def test_honest_merges_never_walk_entries(specs):
+    """Folding any sequence of honest-only shares does zero Python-level
+    entry walks: honest signer sets union with int ORs alone."""
+    pieces = [
+        _materialise([(value, signer, "honest") for value, signer in raw])
+        for raw in specs
+    ]
+    collections = [
+        BlsCollection(_REF_PKI, BLS_COSTS, piece) for piece in pieces
+    ]
+    MERGE_STATS.reset()
+    acc = _REF_SCHEME.empty()
+    for coll in collections:
+        acc = acc.combine(coll)
+    assert MERGE_STATS.entries_examined == 0
