@@ -4,15 +4,28 @@ N=100, RTT=100 ms, bandwidth swept. Kauri with h=3 (fanout 5) roughly
 doubles the h=2 (fanout 10) throughput in bandwidth-bound regimes -- the
 root's sending time halves -- at a modest latency cost; HotStuff latency
 swings with bandwidth while Kauri's barely moves.
+
+The grid comes from the checked-in ``scenarios/fig10.toml`` pack; the
+system list (label/mode/height) is the pack's composite ``system`` axis.
 """
 
-from conftest import CACHE, JOBS, SCALE, run_once
+from conftest import SCALE, run_grid, run_once
 
-from repro.analysis import fig10_tree_height, format_table
+from repro.analysis import format_table
+from repro.scenarios import compile_pack, load_pack
 
 
 def test_fig10_tree_height(benchmark, save_table):
-    data = run_once(benchmark, lambda: fig10_tree_height(scale=SCALE, jobs=JOBS, use_cache=CACHE))
+    grid = compile_pack(load_pack("fig10"), scale=SCALE)
+    results = run_once(benchmark, lambda: run_grid(grid.specs))
+    data = {label: [] for label in grid.labels()}
+    for cell, r in zip(grid.cells, results):
+        data[cell.label].append(
+            (cell.bindings["scenario"]["bandwidth_mbps"],
+             r.throughput_txs / 1000.0,
+             r.latency["p50"] * 1000.0,
+             r.cpu_saturated)
+        )
     rows = []
     for label, series in data.items():
         for bw, ktx, lat_ms, saturated in series:

@@ -7,15 +7,19 @@ exceeds every other system (the high inter-cluster RTT is exactly what
 pipelining hides); HotStuff's latency is lower at this small scale; and
 Kauri-np is the *worst* performer -- without pipelining the high RTT
 dominates the remaining time.
+
+The grid comes from the checked-in ``scenarios/fig11.toml`` pack.
 """
 
-from conftest import CACHE, JOBS, SCALE, run_once
+from conftest import SCALE, run_grid, run_once
 
-from repro.analysis import fig11_heterogeneous, format_table
+from repro.analysis import format_table
+from repro.scenarios import compile_pack, load_pack
 
 
 def test_fig11_heterogeneous(benchmark, save_table):
-    results = run_once(benchmark, lambda: fig11_heterogeneous(scale=SCALE, jobs=JOBS, use_cache=CACHE))
+    grid = compile_pack(load_pack("fig11"), scale=SCALE)
+    results = run_once(benchmark, lambda: run_grid(grid.specs))
     rows = [
         (
             r.mode,

@@ -9,17 +9,22 @@ The paper's headline figure. Shapes to reproduce:
   nodes; pipelining is what makes trees pay off universally.
 - HotStuff-bls >= HotStuff-secp except on the fastest network, where the
   CPU-heavier BLS operations bite.
+
+The grid comes from the checked-in ``scenarios/fig6.toml`` pack; the bench
+substitutes its size axis (REPRO_BENCH_FULL_N widens it to the paper's 400).
 """
 
-from conftest import CACHE, JOBS, SCALE, run_once
+from conftest import SCALE, run_grid, run_once
 
-from repro.analysis import fig6_scenarios, format_table, saturation_marker
+from repro.analysis import format_table, saturation_marker
+from repro.scenarios import compile_pack, load_pack
 
 
 def test_fig6_throughput_across_scenarios(benchmark, save_table, bench_ns):
-    results = run_once(
-        benchmark, lambda: fig6_scenarios(ns=bench_ns, scale=SCALE, jobs=JOBS, use_cache=CACHE)
+    grid = compile_pack(
+        load_pack("fig6"), scale=SCALE, axes={"n": list(bench_ns)}
     )
+    results = run_once(benchmark, lambda: run_grid(grid.specs))
     rows = [
         (
             r.scenario,

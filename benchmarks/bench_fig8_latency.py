@@ -5,15 +5,35 @@ latency is dominated by the leader's sending time at low bandwidth, so
 Kauri's tree wins below a crossover bandwidth; at high bandwidth HotStuff's
 two communication steps beat Kauri's 2h steps. The analytical
 infinite-bandwidth floors (HotStuff at best half of Kauri) are included.
+
+The grid comes from the checked-in ``scenarios/fig8.toml`` pack; the floors
+stay analytical (the §4.3 model at infinite bandwidth has no pack cell).
 """
 
-from conftest import CACHE, JOBS, SCALE, run_once
+import math
 
-from repro.analysis import fig8_latency_bandwidth, format_table
+from conftest import SCALE, run_grid, run_once
+
+from repro.analysis import format_table
+from repro.config import KB, NetworkParams, ms
+from repro.runtime.horizon import model_for
+from repro.scenarios import compile_pack, load_pack
 
 
 def test_fig8_latency_vs_bandwidth(benchmark, save_table):
-    data = run_once(benchmark, lambda: fig8_latency_bandwidth(scale=SCALE, jobs=JOBS, use_cache=CACHE))
+    grid = compile_pack(load_pack("fig8"), scale=SCALE)
+    results = run_once(benchmark, lambda: run_grid(grid.specs))
+    data = {}
+    for cell, r in zip(grid.cells, results):
+        data.setdefault(cell.spec.mode, []).append(
+            (cell.bindings["scenario"]["bandwidth_mbps"],
+             r.latency["p50"] * 1000.0)
+        )
+    inf_params = NetworkParams("inf", rtt=ms(100), bandwidth_bps=math.inf)
+    for mode in list(data):
+        model = model_for(mode, 100, inf_params, 250 * KB)
+        data[f"{mode}-infinite"] = [(math.inf, model.instance_latency() * 1000.0)]
+
     rows = []
     for mode, series in sorted(data.items()):
         for bw, latency_ms in series:

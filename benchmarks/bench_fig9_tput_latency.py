@@ -4,15 +4,26 @@ Global scenario, N=100, block sizes 32 KB - 1 MB (the paper's load knob).
 Shapes: Kauri's throughput dominates at every block size; latency grows
 with block size for everyone but much faster for the HotStuff variants,
 whose latency overtakes Kauri's beyond ~125 KB blocks.
+
+The grid comes from the checked-in ``scenarios/fig9.toml`` pack.
 """
 
-from conftest import CACHE, JOBS, SCALE, run_once
+from conftest import SCALE, run_grid, run_once
 
-from repro.analysis import fig9_throughput_latency, format_table
+from repro.analysis import format_table
+from repro.scenarios import compile_pack, load_pack
 
 
 def test_fig9_throughput_vs_latency(benchmark, save_table):
-    data = run_once(benchmark, lambda: fig9_throughput_latency(scale=SCALE, jobs=JOBS, use_cache=CACHE))
+    grid = compile_pack(load_pack("fig9"), scale=SCALE)
+    results = run_once(benchmark, lambda: run_grid(grid.specs))
+    data = {}
+    for cell, r in zip(grid.cells, results):
+        data.setdefault(cell.spec.mode, []).append(
+            (cell.bindings["block_kb"],
+             r.throughput_txs / 1000.0,
+             r.latency["p50"] * 1000.0)
+        )
     rows = []
     for mode, series in data.items():
         for kb, ktx, lat_ms in series:

@@ -7,46 +7,35 @@ side. Expect Kauri on top everywhere, with the gap widening as bandwidth
 shrinks; expect Kauri-np (trees without pipelining) to beat HotStuff only
 when bandwidth is scarce.
 
+The whole grid is the checked-in ``scenarios/scenario-comparison.toml``
+pack -- this script just compiles it at half scale and prints the rows
+(``python -m repro scenarios run scenario-comparison`` does the same from
+the command line).
+
 Run:  python examples/scenario_comparison.py      (~1 minute)
 """
 
-from repro import run_experiment
-from repro.analysis import adaptive_duration, format_table
-from repro.config import KB, SCENARIOS
-
-MODES = ("kauri", "kauri-np", "hotstuff-secp", "hotstuff-bls")
-N = 31
+from repro.analysis import format_table
+from repro.scenarios import run_pack
 
 
 def main() -> None:
-    rows = []
-    for scenario, params in SCENARIOS.items():
-        for mode in MODES:
-            duration = adaptive_duration(
-                mode, N, params, 250 * KB, instances=6.0, scale=0.5
-            )
-            result = run_experiment(
-                mode=mode,
-                scenario=scenario,
-                n=N,
-                duration=duration,
-                max_commits=60,
-                seed=0,
-            )
-            rows.append(
-                (
-                    scenario,
-                    mode,
-                    round(result.throughput_txs, 0),
-                    round(result.latency["p50"] * 1000, 0),
-                    "yes" if result.cpu_saturated else "",
-                )
-            )
+    grid, results = run_pack("scenario-comparison", scale=0.5)
+    rows = [
+        (
+            r.scenario,
+            r.mode,
+            round(r.throughput_txs, 0),
+            round(r.latency["p50"] * 1000, 0),
+            "yes" if r.cpu_saturated else "",
+        )
+        for r in results
+    ]
     print(
         format_table(
             ("Scenario", "System", "Throughput (tx/s)", "p50 latency (ms)", "CPU-bound"),
             rows,
-            title=f"Scenario comparison, N={N}, 250 KB blocks",
+            title="Scenario comparison, N=31, 250 KB blocks",
         )
     )
     kauri_global = next(r[2] for r in rows if r[:2] == ("global", "kauri"))

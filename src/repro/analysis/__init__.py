@@ -15,6 +15,7 @@ from repro.analysis.pipeline_viz import (
     render_gantt,
 )
 from repro.analysis.figures import (
+    FIGURES,
     RED_CIRCLE,
     adaptive_duration,
     fig5_stretch_sweep,
@@ -31,6 +32,7 @@ from repro.analysis.figures import (
 )
 
 __all__ = [
+    "FIGURES",
     "format_table",
     "table1_rows",
     "table2_rows",

@@ -1,46 +1,67 @@
 """Figure generators: one function per evaluation figure (§7.3-§7.10).
 
 Every function runs real deployments and returns the same series the
-paper plots. Simulation horizons adapt to each configuration's expected
-instance latency (slow configurations need longer windows to commit a
-meaningful number of blocks; fast ones are capped by ``max_commits`` so the
-event count stays bounded). ``scale`` < 1.0 shrinks horizons uniformly for
-quick smoke runs.
+paper plots. Since the scenario-pack refactor the *grids* live in
+checked-in data files under ``scenarios/`` (one pack per figure); each
+generator loads its pack, substitutes any caller-supplied axis values,
+and compiles it to the same frozen :class:`~repro.runtime.sweep.ExperimentSpec`
+cells the inline grids used to build -- byte-identical, so the on-disk
+result cache keeps hitting (tests/test_scenarios_roundtrip.py holds the
+proof). Simulation horizons adapt to each configuration's expected
+instance latency via :mod:`repro.runtime.horizon`; ``scale`` < 1.0
+shrinks horizons uniformly for quick smoke runs.
 
-Each generator builds its grid as a list of
-:class:`~repro.runtime.sweep.ExperimentSpec` cells and hands it to a
-:class:`~repro.runtime.sweep.SweepRunner`: ``jobs`` fans the independent
-cells out over a process pool (``None`` reads ``$REPRO_SWEEP_JOBS``), and
-``use_cache`` re-uses completed cells from the on-disk result cache.
-Results are identical for any ``jobs`` value -- every cell is a
-deterministic function of its spec.
+``jobs`` fans the independent cells out over a process pool (``None``
+reads ``$REPRO_SWEEP_JOBS``), and ``use_cache`` re-uses completed cells
+from the on-disk result cache. Results are identical for any ``jobs``
+value -- every cell is a deterministic function of its spec.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.config import (
-    GLOBAL,
-    KB,
-    NATIONAL,
-    REGIONAL,
-    NetworkParams,
-    ProtocolConfig,
-    default_root_fanout,
-    max_faults,
-    mbps,
-    ms,
-    resilientdb_clusters,
-)
-from repro.core.modes import mode_spec
-from repro.core.perfmodel import PerfModel
-from repro.crypto.costs import BLS_COSTS, SECP_COSTS
+from repro.config import KB, NetworkParams, ms
 from repro.runtime.experiment import ExperimentResult
-from repro.runtime.sweep import ExperimentSpec, SweepRunner
+from repro.runtime.horizon import adaptive_duration, model_for as _model_for
+from repro.runtime.sweep import SweepRunner
+from repro.scenarios import CompiledGrid, compile_pack, load_pack
 
-_COSTS = {"bls": BLS_COSTS, "secp": SECP_COSTS}
+__all__ = [
+    "FIGURES",
+    "RED_CIRCLE",
+    "adaptive_duration",
+    "saturation_marker",
+    "fig5_stretch_sweep",
+    "fig6_scenarios",
+    "fig6_kudzu_headtohead",
+    "fig7_rtt_sweep",
+    "fig8_latency_bandwidth",
+    "fig9_throughput_latency",
+    "fig10_tree_height",
+    "fig11_heterogeneous",
+    "fig12_reconfiguration",
+    "fig_depth_scaling",
+]
+
+#: Registry of every figure the CLI can regenerate: key -> what it shows.
+#: ``repro fig``'s choice list derives from this (the way ``--mode``
+#: derives from ``MODES``), so adding a figure here surfaces it in the CLI.
+FIGURES: Dict[str, str] = {
+    "3": "pipelining Gantt: in-flight instances at the leader (§4.2)",
+    "5": "throughput vs pipelining stretch (§7.3)",
+    "6": "Kauri vs HotStuff-bls vs Kudzu across scenarios (§7.4)",
+    "7": "throughput vs RTT (§7.5)",
+    "8": "latency vs bandwidth (§7.6)",
+    "9": "throughput vs latency under varying load (§7.7)",
+    "10": "impact of tree height (§7.8)",
+    "11": "heterogeneous networks (§7.9)",
+    "12a": "reconfiguration: one faulty leader (§7.10)",
+    "12b": "reconfiguration: three consecutive faulty leaders (§7.10)",
+    "12c": "reconfiguration: internal nodes + leaders, full walk (§7.10)",
+    "depth": "tree-depth scaling to N=1000 (beyond Figure 10)",
+}
 
 
 def _runner(jobs: Optional[int], use_cache: bool) -> SweepRunner:
@@ -48,28 +69,23 @@ def _runner(jobs: Optional[int], use_cache: bool) -> SweepRunner:
     return SweepRunner(jobs=jobs, cache=use_cache)
 
 
-def _model_for(mode: str, n: int, params: NetworkParams, block_size: int, height: int = 2) -> PerfModel:
-    spec = mode_spec(mode)
-    costs = _COSTS[spec.scheme]
-    if spec.uses_tree:
-        fanout = default_root_fanout(n, height)
-        return PerfModel.for_tree_shape(n, height, fanout, params, block_size, costs)
-    return PerfModel.for_star(n, params, block_size, costs)
-
-
-def adaptive_duration(
-    mode: str,
-    n: int,
-    params: NetworkParams,
-    block_size: int,
-    height: int = 2,
-    min_duration: float = 30.0,
-    instances: float = 8.0,
-    scale: float = 1.0,
-) -> float:
-    """Simulated horizon long enough for ``instances`` full instances."""
-    model = _model_for(mode, n, params, block_size, height)
-    return scale * max(min_duration, instances * model.instance_latency())
+def _pack_grid(
+    name: str,
+    scale: float,
+    seed: int,
+    axes: Optional[Mapping[str, Sequence[Any]]] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+    observability: Optional[bool] = None,
+) -> CompiledGrid:
+    """Load a checked-in figure pack and compile it for this invocation."""
+    return compile_pack(
+        load_pack(name),
+        scale=scale,
+        seed=seed,
+        observability=observability,
+        axes=axes,
+        overrides=overrides,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -85,23 +101,21 @@ def fig5_stretch_sweep(
     use_cache: bool = False,
 ) -> Dict[int, List[Tuple[float, float]]]:
     """Global scenario, N=100: throughput (Ktx/s) per stretch per block size."""
-    cells = [(kb, float(stretch)) for kb in block_sizes_kb for stretch in stretches]
-    specs = [
-        ExperimentSpec(
-            mode="kauri",
-            scenario="global",
-            n=n,
-            block_size=kb * KB,
-            stretch=stretch,
-            duration=adaptive_duration("kauri", n, GLOBAL, kb * KB, scale=scale),
-            max_commits=int(200 * scale) or 20,
-            seed=seed,
-        )
-        for kb, stretch in cells
-    ]
+    grid = _pack_grid(
+        "fig5",
+        scale,
+        seed,
+        axes={
+            "block_kb": list(block_sizes_kb),
+            "stretch": [float(stretch) for stretch in stretches],
+        },
+        overrides={"n": n},
+    )
     out: Dict[int, List[Tuple[float, float]]] = {kb: [] for kb in block_sizes_kb}
-    for (kb, stretch), result in zip(cells, _runner(jobs, use_cache).run(specs)):
-        out[kb].append((stretch, result.throughput_txs / 1000.0))
+    for cell, result in zip(grid.cells, _runner(jobs, use_cache).run(grid.specs)):
+        out[cell.bindings["block_kb"]].append(
+            (cell.bindings["stretch"], result.throughput_txs / 1000.0)
+        )
     return out
 
 
@@ -132,25 +146,14 @@ def fig6_scenarios(
     size, 250 KB blocks, model-driven stretch for Kauri. With
     ``observability=True`` each result carries a full RunReport
     (``result.report``) for bottleneck attribution behind the red circles."""
-    from repro.config import SCENARIOS
-
-    specs = [
-        ExperimentSpec(
-            mode=mode,
-            scenario=scenario,
-            n=n,
-            duration=adaptive_duration(
-                mode, n, SCENARIOS[scenario], 250 * KB, scale=scale
-            ),
-            max_commits=int(150 * scale) or 15,
-            seed=seed,
-            observability=observability,
-        )
-        for scenario in scenarios
-        for n in ns
-        for mode in modes
-    ]
-    return _runner(jobs, use_cache).run(specs)
+    grid = _pack_grid(
+        "fig6",
+        scale,
+        seed,
+        axes={"scenario": list(scenarios), "n": list(ns), "mode": list(modes)},
+        observability=observability,
+    )
+    return _runner(jobs, use_cache).run(grid.specs)
 
 
 def fig6_kudzu_headtohead(
@@ -167,16 +170,14 @@ def fig6_kudzu_headtohead(
     chained, optimistic single-round fast path). One sweep command; the
     Kudzu rows carry ``fast_commits``/``fast_fallbacks`` so the fast-path
     engagement is visible next to the throughput numbers."""
-    return fig6_scenarios(
-        scenarios=scenarios,
-        ns=ns,
-        modes=("kauri", "hotstuff-bls", "kudzu"),
-        scale=scale,
-        seed=seed,
-        jobs=jobs,
-        use_cache=use_cache,
+    grid = _pack_grid(
+        "fig6-kudzu",
+        scale,
+        seed,
+        axes={"scenario": list(scenarios), "n": list(ns)},
         observability=observability,
     )
+    return _runner(jobs, use_cache).run(grid.specs)
 
 
 # ---------------------------------------------------------------------------
@@ -192,27 +193,26 @@ def fig7_rtt_sweep(
     use_cache: bool = False,
 ) -> Dict[str, List[Tuple[int, float, float]]]:
     """Regional bandwidth (100 Mb/s), varying RTT: (rtt_ms, Ktx/s, stretch)."""
-    cells = [
-        (rtt, mode, REGIONAL.with_rtt(ms(rtt))) for rtt in rtts_ms for mode in modes
-    ]
-    specs = [
-        ExperimentSpec(
-            mode=mode,
-            scenario=params,
-            n=n,
-            duration=adaptive_duration(mode, n, params, 250 * KB, scale=scale),
-            max_commits=int(150 * scale) or 15,
-            seed=seed,
-        )
-        for rtt, mode, params in cells
-    ]
+    grid = _pack_grid(
+        "fig7",
+        scale,
+        seed,
+        axes={
+            "scenario": [{"base": "regional", "rtt_ms": rtt} for rtt in rtts_ms],
+            "mode": list(modes),
+        },
+        overrides={"n": n},
+    )
     out: Dict[str, List[Tuple[int, float, float]]] = {mode: [] for mode in modes}
-    for (rtt, mode, params), result in zip(
-        cells, _runner(jobs, use_cache).run(specs)
-    ):
-        model = _model_for(mode, n, params, 250 * KB)
-        out[mode].append(
-            (rtt, result.throughput_txs / 1000.0, round(model.pipelining_stretch, 1))
+    for cell, result in zip(grid.cells, _runner(jobs, use_cache).run(grid.specs)):
+        spec = cell.spec
+        model = _model_for(spec.mode, n, spec.scenario, 250 * KB)
+        out[spec.mode].append(
+            (
+                cell.bindings["scenario"]["rtt_ms"],
+                result.throughput_txs / 1000.0,
+                round(model.pipelining_stretch, 1),
+            )
         )
     return out
 
@@ -234,25 +234,27 @@ def fig8_latency_bandwidth(
     Includes the paper's analytical infinite-bandwidth floor as the
     ``"<mode>-infinite"`` entries.
     """
-    cells = [
-        (bw, mode, NetworkParams(f"bw{bw}", rtt=ms(100), bandwidth_bps=mbps(bw)))
-        for bw in bandwidths_mbps
-        for mode in modes
-    ]
-    specs = [
-        ExperimentSpec(
-            mode=mode,
-            scenario=params,
-            n=n,
-            duration=adaptive_duration(mode, n, params, 250 * KB, scale=scale),
-            max_commits=int(100 * scale) or 10,
-            seed=seed,
-        )
-        for bw, mode, params in cells
-    ]
+    grid = _pack_grid(
+        "fig8",
+        scale,
+        seed,
+        axes={
+            "scenario": [
+                {"name": f"bw{bw}", "rtt_ms": 100, "bandwidth_mbps": bw}
+                for bw in bandwidths_mbps
+            ],
+            "mode": list(modes),
+        },
+        overrides={"n": n},
+    )
     out: Dict[str, List[Tuple[float, float]]] = {mode: [] for mode in modes}
-    for (bw, mode, _), result in zip(cells, _runner(jobs, use_cache).run(specs)):
-        out[mode].append((float(bw), result.latency["p50"] * 1000.0))
+    for cell, result in zip(grid.cells, _runner(jobs, use_cache).run(grid.specs)):
+        out[cell.spec.mode].append(
+            (
+                float(cell.bindings["scenario"]["bandwidth_mbps"]),
+                result.latency["p50"] * 1000.0,
+            )
+        )
     # Analytical floor: zero sending time, pure RTT + processing.
     import math
 
@@ -277,23 +279,21 @@ def fig9_throughput_latency(
 ) -> Dict[str, List[Tuple[int, float, float]]]:
     """Global scenario: (block_kb, Ktx/s, p50 latency ms) per mode; Kauri's
     stretch follows the model per block size (§7.7)."""
-    cells = [(kb, mode) for kb in block_sizes_kb for mode in modes]
-    specs = [
-        ExperimentSpec(
-            mode=mode,
-            scenario="global",
-            n=n,
-            block_size=kb * KB,
-            duration=adaptive_duration(mode, n, GLOBAL, kb * KB, scale=scale),
-            max_commits=int(150 * scale) or 15,
-            seed=seed,
-        )
-        for kb, mode in cells
-    ]
+    grid = _pack_grid(
+        "fig9",
+        scale,
+        seed,
+        axes={"block_kb": list(block_sizes_kb), "mode": list(modes)},
+        overrides={"n": n},
+    )
     out: Dict[str, List[Tuple[int, float, float]]] = {mode: [] for mode in modes}
-    for (kb, mode), result in zip(cells, _runner(jobs, use_cache).run(specs)):
-        out[mode].append(
-            (kb, result.throughput_txs / 1000.0, result.latency["p50"] * 1000.0)
+    for cell, result in zip(grid.cells, _runner(jobs, use_cache).run(grid.specs)):
+        out[cell.spec.mode].append(
+            (
+                cell.bindings["block_kb"],
+                result.throughput_txs / 1000.0,
+                result.latency["p50"] * 1000.0,
+            )
         )
     return out
 
@@ -310,42 +310,27 @@ def fig10_tree_height(
     use_cache: bool = False,
 ) -> Dict[str, List[Tuple[float, float, float, bool]]]:
     """RTT=100 ms: Kauri h=2 (f=10) vs h=3 (f=5) vs HotStuff variants.
-    Rows: (bandwidth, Ktx/s, p50 latency ms, cpu_saturated)."""
-    systems = [
-        ("kauri-h2", "kauri", 2),
-        ("kauri-h3", "kauri", 3),
-        ("hotstuff-secp", "hotstuff-secp", 1),
-        ("hotstuff-bls", "hotstuff-bls", 1),
-    ]
-    cells = [
-        (bw, label, mode, height,
-         NetworkParams(f"bw{bw}", rtt=ms(100), bandwidth_bps=mbps(bw)))
-        for bw in bandwidths_mbps
-        for label, mode, height in systems
-    ]
-    specs = [
-        ExperimentSpec(
-            mode=mode,
-            scenario=params,
-            n=n,
-            height=max(height, 2) if mode_spec(mode).uses_tree else 2,
-            duration=adaptive_duration(
-                mode, n, params, 250 * KB, height=max(height, 1), scale=scale
-            ),
-            max_commits=int(150 * scale) or 15,
-            seed=seed,
-        )
-        for bw, label, mode, height, params in cells
-    ]
+    Rows: (bandwidth, Ktx/s, p50 latency ms, cpu_saturated). The system
+    list (label/mode/height) is the pack's composite ``system`` axis."""
+    grid = _pack_grid(
+        "fig10",
+        scale,
+        seed,
+        axes={
+            "scenario": [
+                {"name": f"bw{bw}", "rtt_ms": 100, "bandwidth_mbps": bw}
+                for bw in bandwidths_mbps
+            ],
+        },
+        overrides={"n": n},
+    )
     out: Dict[str, List[Tuple[float, float, float, bool]]] = {
-        label: [] for label, _, _ in systems
+        label: [] for label in grid.labels()
     }
-    for (bw, label, _, _, _), result in zip(
-        cells, _runner(jobs, use_cache).run(specs)
-    ):
-        out[label].append(
+    for cell, result in zip(grid.cells, _runner(jobs, use_cache).run(grid.specs)):
+        out[cell.label].append(
             (
-                float(bw),
+                float(cell.bindings["scenario"]["bandwidth_mbps"]),
                 result.throughput_txs / 1000.0,
                 result.latency["p50"] * 1000.0,
                 result.cpu_saturated,
@@ -375,36 +360,21 @@ def fig_depth_scaling(
     depth-1 contrast whose leader uplink the trees exist to relieve.
     Rows per system: (n, Ktx/s, p50 latency ms, cpu_saturated).
     """
-    systems = [(f"kauri-h{height}", "kauri", height) for height in heights]
-    systems.append(("hotstuff-bls", "hotstuff-bls", 1))
-    cells = [
-        (n, label, mode, height)
-        for n in sizes
-        for label, mode, height in systems
+    systems = [
+        {"label": f"kauri-h{height}", "mode": "kauri", "height": height}
+        for height in heights
     ]
-    specs = [
-        ExperimentSpec(
-            mode=mode,
-            scenario=GLOBAL,
-            n=n,
-            height=max(height, 2) if mode_spec(mode).uses_tree else 2,
-            duration=adaptive_duration(
-                mode, n, GLOBAL, 250 * KB, height=max(height, 1), scale=scale
-            ),
-            max_commits=int(60 * scale) or 6,
-            seed=seed,
-        )
-        for n, label, mode, height in cells
-    ]
+    systems.append({"label": "hotstuff-bls", "mode": "hotstuff-bls", "height": 2})
+    grid = _pack_grid(
+        "depth", scale, seed, axes={"n": list(sizes), "system": systems}
+    )
     out: Dict[str, List[Tuple[int, float, float, bool]]] = {
-        label: [] for label, _, _ in systems
+        label: [] for label in grid.labels()
     }
-    for (n, label, _, _), result in zip(
-        cells, _runner(jobs, use_cache).run(specs)
-    ):
-        out[label].append(
+    for cell, result in zip(grid.cells, _runner(jobs, use_cache).run(grid.specs)):
+        out[cell.label].append(
             (
-                n,
+                cell.spec.n,
                 result.throughput_txs / 1000.0,
                 result.latency["p50"] * 1000.0,
                 result.cpu_saturated,
@@ -425,19 +395,16 @@ def fig11_heterogeneous(
     use_cache: bool = False,
 ) -> List[ExperimentResult]:
     """The ResilientDB deployment: N=60 over six geo clusters."""
-    clusters = resilientdb_clusters(per_cluster=per_cluster)
-    specs = [
-        ExperimentSpec(
-            mode=mode,
-            scenario=clusters,
-            n=clusters.n,
-            duration=scale * 120.0,
-            max_commits=int(200 * scale) or 20,
-            seed=seed,
-        )
-        for mode in modes
-    ]
-    return _runner(jobs, use_cache).run(specs)
+    grid = _pack_grid(
+        "fig11",
+        scale,
+        seed,
+        axes={"mode": list(modes)},
+        overrides={
+            "scenario": {"clusters": "resilientdb", "per_cluster": per_cluster}
+        },
+    )
+    return _runner(jobs, use_cache).run(grid.specs)
 
 
 # ---------------------------------------------------------------------------
@@ -480,6 +447,10 @@ def fig12_reconfiguration(
       (Fig. 12c, "Kauri internal+leaders");
     - ``"f-leaders"`` -- f consecutive tree roots / star leaders (Fig. 12c,
       "Kauri leaders").
+
+    Fault placement needs the deployment's leader schedule (a cluster
+    probe), so this figure stays imperative rather than pack-driven; packs
+    express *explicit* crash schedules via their ``faults`` field.
     """
     from repro.runtime.cluster import Cluster
 

@@ -7,6 +7,8 @@ Commands:
 - ``tune``   -- automatic configuration search (§8 future work).
 - ``table``  -- regenerate Table 1 or Table 2.
 - ``fig``    -- regenerate an evaluation figure's series (fig5..fig12).
+- ``scenarios`` -- list / show / validate / run the declarative scenario
+  packs checked in under ``scenarios/``.
 - ``perf``   -- run the hot-path microbenchmarks (BENCH_core.json).
 - ``report`` -- run one deployment with observability on and emit its
   RunReport JSON (per-node utilization, saturation flags, phase spans).
@@ -18,6 +20,8 @@ Examples::
     python -m repro tune --n 400 --scenario global --objective throughput
     python -m repro table 2
     python -m repro fig 12a
+    python -m repro scenarios validate
+    python -m repro scenarios run smoke --report run_report.json
     python -m repro perf --quick --check BENCH_core.json
     python -m repro report --mode kauri --n 100 --duration 30 --validate
 """
@@ -31,7 +35,7 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.analysis import format_table
+from repro.analysis import FIGURES, format_table
 from repro.config import KB, SCENARIOS, ProtocolConfig, resilientdb_clusters
 from repro.core.modes import MODES
 
@@ -252,9 +256,10 @@ def _cmd_modes(args) -> int:
     return 0
 
 
-FIG_CHOICES = [
-    "3", "5", "6", "7", "8", "9", "10", "11", "12a", "12b", "12c", "depth",
-]
+#: Every figure the CLI can regenerate, straight from the FIGURES registry
+#: in :mod:`repro.analysis.figures` -- adding a figure there automatically
+#: surfaces it here, the way ``--mode`` choices derive from MODES.
+FIG_CHOICES = list(FIGURES)
 
 
 def _add_engine_args(p) -> None:
@@ -482,6 +487,178 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _scenario_label(scenario) -> str:
+    """Display name for a spec's scenario (str / NetworkParams / ClusterParams)."""
+    return scenario if isinstance(scenario, str) else scenario.name
+
+
+def _add_scenarios_parser(subparsers) -> None:
+    from repro.scenarios import pack_names
+
+    try:
+        names = sorted(pack_names())
+    except Exception:  # unreadable catalog dir: accept any name, fail late
+        names = []
+    # Empty catalog -> no choices restriction; load_pack gives the precise
+    # "unknown pack" error (with the catalog location) at run time.
+    choices = names or None
+    p = subparsers.add_parser(
+        "scenarios",
+        help="list / show / validate / run declarative scenario packs",
+    )
+    sub = p.add_subparsers(dest="scenarios_command", required=True)
+    sub.add_parser("list", help="list every pack in the catalog")
+    show = sub.add_parser("show", help="show a pack's axes and compiled cells")
+    show.add_argument("name", choices=choices, metavar="PACK")
+    validate = sub.add_parser(
+        "validate", help="dry-run compile packs; exit 1 on any error"
+    )
+    validate.add_argument("name", nargs="?", choices=choices, metavar="PACK",
+                          help="one pack; default: every pack in the catalog")
+    run = sub.add_parser("run", help="compile a pack and run its grid")
+    run.add_argument("name", choices=choices, metavar="PACK")
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="horizon/budget scale (default 1.0)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override every cell's seed")
+    run.add_argument("--json", action="store_true",
+                     help="emit the results as JSON")
+    run.add_argument("--report", default=None, metavar="PATH",
+                     help="run with observability on and write the first "
+                          "cell's RunReport JSON here")
+    _add_engine_args(run)
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.scenarios import (
+        PackError,
+        catalog,
+        compile_pack,
+        load_pack,
+        load_pack_file,
+        validate_pack,
+    )
+
+    if args.scenarios_command == "list":
+        rows = []
+        for name, path in catalog().items():
+            pack = load_pack_file(path)
+            grid = validate_pack(pack)
+            rows.append(
+                (name, len(grid.cells), " x ".join(pack.axis_names) or "-",
+                 pack.title)
+            )
+        print(format_table(("Pack", "Cells", "Axes", "Title"), rows,
+                           title="Scenario packs"))
+        return 0
+
+    if args.scenarios_command == "show":
+        pack = load_pack(args.name)
+        grid = compile_pack(pack)
+        print(f"{pack.name}: {pack.title}")
+        if pack.description:
+            print(pack.description)
+        print(f"source: {pack.source}")
+        if pack.defaults:
+            print("defaults: " + ", ".join(
+                f"{key}={value!r}" for key, value in pack.defaults.items()
+            ))
+        for pgrid in pack.grids:
+            for axis, values in pgrid.axes:
+                print(f"axis {axis}: {len(values)} values")
+        rows = [
+            (
+                cell.index,
+                cell.label or "-",
+                cell.spec.mode,
+                _scenario_label(cell.spec.scenario),
+                cell.spec.n,
+                "-" if cell.spec.block_size is None
+                else cell.spec.block_size // KB,
+                round(cell.spec.duration, 1),
+                cell.spec.max_commits,
+            )
+            for cell in grid.cells
+        ]
+        print(format_table(
+            ("#", "Label", "Mode", "Scenario", "N", "Block KB",
+             "Duration (s)", "Commits"),
+            rows,
+            title=f"{len(grid.cells)} cells at scale 1.0",
+        ))
+        return 0
+
+    if args.scenarios_command == "validate":
+        targets = (
+            {args.name: catalog()[args.name]} if args.name else catalog()
+        )
+        failures = 0
+        for name, path in targets.items():
+            try:
+                grid = validate_pack(load_pack_file(path))
+            except PackError as exc:
+                failures += 1
+                print(f"FAIL {name}: {exc}", file=sys.stderr)
+            else:
+                print(f"ok   {name} ({len(grid.cells)} cells)")
+        if failures:
+            print(f"{failures} of {len(targets)} packs failed validation",
+                  file=sys.stderr)
+            return 1
+        print(f"all {len(targets)} packs validate")
+        return 0
+
+    # run
+    from repro.runtime.sweep import SweepRunner
+
+    grid = compile_pack(
+        load_pack(args.name),
+        scale=args.scale,
+        seed=args.seed,
+        observability=True if args.report else None,
+    )
+    runner = SweepRunner(jobs=args.jobs, cache=not args.no_cache)
+    results = runner.run(grid.specs)
+    if args.json:
+        print(json.dumps(
+            [dataclasses.asdict(r) for r in results], indent=2, default=str
+        ))
+    else:
+        rows = [
+            (
+                cell.label or "-",
+                r.mode,
+                _scenario_label(r.scenario),
+                r.n,
+                round(r.throughput_txs / 1000, 2),
+                round(r.latency["p50"] * 1000, 0),
+                "SAT" if r.cpu_saturated else "",
+            )
+            for cell, r in zip(grid.cells, results)
+        ]
+        print(format_table(
+            ("Label", "Mode", "Scenario", "N", "Ktx/s", "p50 lat (ms)", "CPU"),
+            rows,
+            title=f"{grid.pack.title} (scale {args.scale})",
+        ))
+        stats = runner.last_stats
+        print(f"[{stats.backend} x{stats.jobs}: {stats.executed} simulated, "
+              f"{stats.cache_hits} cached]")
+    if args.report:
+        from repro.obs import report_json, validate_report
+
+        report = results[0].report
+        with open(args.report, "w") as fh:
+            fh.write(report_json(report))
+        print(f"wrote {args.report}")
+        problems = validate_report(report)
+        if problems:
+            for problem in problems:
+                print(f"SCHEMA: {problem}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _add_perf_parser(subparsers) -> None:
     p = subparsers.add_parser(
         "perf", help="run the hot-path microbenchmarks"
@@ -624,6 +801,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tune_parser(subparsers)
     _add_table_parser(subparsers)
     _add_fig_parser(subparsers)
+    _add_scenarios_parser(subparsers)
     _add_sweep_parser(subparsers)
     _add_perf_parser(subparsers)
     _add_report_parser(subparsers)
@@ -640,6 +818,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tune": _cmd_tune,
         "table": _cmd_table,
         "fig": _cmd_fig,
+        "scenarios": _cmd_scenarios,
         "sweep": _cmd_sweep,
         "perf": _cmd_perf,
         "report": _cmd_report,

@@ -1,0 +1,61 @@
+"""The checked-in pack catalog under ``<repo>/scenarios/``.
+
+Pack files are data, versioned next to the code that consumes them; the
+catalog is just the directory listing, so adding a scenario is adding a
+file (the CLI's ``repro scenarios`` choices follow automatically).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.scenarios.loader import PackError, ScenarioPack, load_pack_file
+
+#: Environment override for the pack directory (tests, external catalogs).
+PACK_DIR_ENV = "REPRO_SCENARIO_DIR"
+
+#: Pack file suffixes, in preference order when both exist for one name.
+PACK_SUFFIXES = (".toml", ".json")
+
+
+def pack_dir() -> Path:
+    """``$REPRO_SCENARIO_DIR`` or ``<repo>/scenarios``."""
+    override = os.environ.get(PACK_DIR_ENV)
+    if override:
+        return Path(override)
+    repo_root = Path(__file__).resolve().parents[3]
+    return repo_root / "scenarios"
+
+
+def catalog(root: Optional[Union[str, Path]] = None) -> Dict[str, Path]:
+    """Pack name -> file path, sorted by name; missing directory = empty."""
+    directory = Path(root) if root is not None else pack_dir()
+    if not directory.is_dir():
+        return {}
+    found: Dict[str, Path] = {}
+    for suffix in PACK_SUFFIXES:
+        for path in sorted(directory.glob(f"*{suffix}")):
+            found.setdefault(path.stem, path)
+    return dict(sorted(found.items()))
+
+
+def pack_names(root: Optional[Union[str, Path]] = None) -> List[str]:
+    """The catalog's pack names (CLI choice lists derive from this)."""
+    return list(catalog(root))
+
+
+def load_pack(
+    name: str, root: Optional[Union[str, Path]] = None
+) -> ScenarioPack:
+    """Load a catalog pack by name, with a precise unknown-name message."""
+    packs = catalog(root)
+    path = packs.get(name)
+    if path is None:
+        known = ", ".join(packs) or "none found"
+        raise PackError(
+            f"unknown scenario pack {name!r} (catalog under "
+            f"{Path(root) if root is not None else pack_dir()}: {known})"
+        )
+    return load_pack_file(path)

@@ -1,0 +1,252 @@
+"""Scenario-pack file format: parsing and structural validation.
+
+Packs are TOML on Python >= 3.11 (stdlib :mod:`tomllib`); JSON packs carry
+the identical structure for 3.9/3.10 environments without a TOML parser.
+The format::
+
+    [pack]
+    name = "fig6"              # must match the file stem
+    title = "Figure 6: ..."
+    description = "..."
+    schema = 1
+
+    [defaults]                 # cell fields applied to every cell
+    mode = "kauri"
+    scenario = "global"
+    n = 100
+    blocks = 150               # commit budget at scale = 1.0
+    duration = "adaptive"      # model-driven horizon (or a number)
+
+    [[grid]]                   # one cross-product; a pack may have several
+    [grid.axes]                # declaration order = nesting (first outermost)
+    scenario = ["national", "regional", "global"]
+    mode = ["kauri", "hotstuff-secp"]
+
+Axis values are either scalars binding the axis's own field, or tables
+binding several fields at once (a *composite* axis, e.g. a ``system`` axis
+binding ``label``/``mode``/``height`` together).
+
+Validation here is structural (sections, keys, shapes) with precise
+messages including did-you-mean suggestions; value-level validation (modes,
+scenarios, quorums) happens in :mod:`repro.scenarios.compiler`, which the
+``validate`` entry points invoke via a dry-run compile.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.9/3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+#: The pack-format version this loader understands.
+PACK_SCHEMA = 1
+
+#: Every key a cell may carry (in ``[defaults]``, ``[grid.set]``, or an
+#: axis binding), with a one-line meaning for error messages and docs.
+CELL_FIELDS: Dict[str, str] = {
+    "label": "presentation label for the cell (figure series name)",
+    "mode": "protocol mode, one of the registered MODES",
+    "scenario": "deployment scenario: name, netem table, or cluster table",
+    "n": "system size (derived from the cluster table when omitted)",
+    "block_kb": "block size in KB (the client-load knob)",
+    "stretch": "Kauri pipelining stretch; omit to follow the model",
+    "height": "tree height",
+    "root_fanout": "root fanout override",
+    "duration": "'adaptive' (model-driven) or simulated seconds at scale 1.0",
+    "instances": "adaptive horizon: instances per window (default 8.0)",
+    "min_duration": "adaptive horizon: floor in seconds (default 30.0)",
+    "blocks": "commit budget at scale 1.0 (lowered to max_commits)",
+    "warmup_fraction": "measurement warm-up fraction",
+    "seed": "simulation seed",
+    "lanes": "uplink lanes per process",
+    "observability": "attach a full RunReport to every result",
+    "saturation_threshold": "CPU-saturation flag threshold",
+    "faults": "crash schedule: list of [node, at_seconds] pairs",
+    "config": "ProtocolConfig overrides (base_timeout, tx_size, ...)",
+}
+
+#: Keys allowed inside a ``scenario`` table.
+SCENARIO_KEYS = ("name", "base", "clusters", "per_cluster", "rtt_ms", "bandwidth_mbps")
+
+
+class PackError(ConfigError):
+    """A scenario pack failed to parse, validate, or compile."""
+
+
+def _suggest(key: str, known: Sequence[str]) -> str:
+    matches = difflib.get_close_matches(key, list(known), n=1)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
+
+
+def _check_keys(
+    mapping: Mapping[str, Any], allowed: Sequence[str], where: str
+) -> None:
+    for key in mapping:
+        if key not in allowed:
+            raise PackError(
+                f"{where}: unknown key {key!r}{_suggest(key, allowed)} "
+                f"(allowed: {', '.join(sorted(allowed))})"
+            )
+
+
+@dataclass
+class PackGrid:
+    """One cross-product inside a pack."""
+
+    name: str
+    set: Dict[str, Any] = field(default_factory=dict)
+    #: Ordered (axis-name, values) pairs; first axis varies slowest.
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+
+
+@dataclass
+class ScenarioPack:
+    """A parsed, structurally valid scenario pack."""
+
+    name: str
+    title: str
+    description: str
+    schema: int
+    defaults: Dict[str, Any]
+    grids: Tuple[PackGrid, ...]
+    source: Optional[Path] = None
+
+    @property
+    def axis_names(self) -> List[str]:
+        seen: List[str] = []
+        for grid in self.grids:
+            for axis, _ in grid.axes:
+                if axis not in seen:
+                    seen.append(axis)
+        return seen
+
+
+def _validate_axis(pack: str, grid: str, axis: str, values: Any) -> Tuple[Any, ...]:
+    """An axis named after a cell field binds that field (whatever the value
+    shape -- scenario tables included); any other axis name is *composite*
+    and its values must be tables binding several cell fields at once."""
+    where = f"pack {pack!r}, grid {grid!r}, axis {axis!r}"
+    if not isinstance(values, list) or not values:
+        raise PackError(f"{where}: axis values must be a non-empty list")
+    if axis in CELL_FIELDS:
+        return tuple(values)
+    for entry in values:
+        if not isinstance(entry, dict):
+            raise PackError(
+                f"{where}: not a cell field{_suggest(axis, list(CELL_FIELDS))}, "
+                "so it must be a composite axis -- a list of tables binding "
+                "cell fields (e.g. {label=..., mode=..., height=...})"
+            )
+        _check_keys(entry, list(CELL_FIELDS), where)
+    return tuple(values)
+
+
+def parse_pack(
+    data: Mapping[str, Any], source: Optional[Path] = None
+) -> ScenarioPack:
+    """Build and structurally validate a pack from a parsed mapping."""
+    origin = str(source) if source is not None else "<pack>"
+    if not isinstance(data, Mapping):
+        raise PackError(f"{origin}: top level must be a table/object")
+    _check_keys(data, ("pack", "defaults", "grid"), origin)
+    header = data.get("pack")
+    if not isinstance(header, Mapping):
+        raise PackError(f"{origin}: missing [pack] header table")
+    _check_keys(header, ("name", "title", "description", "schema"), f"{origin} [pack]")
+    name = header.get("name")
+    if not isinstance(name, str) or not name:
+        raise PackError(f"{origin} [pack]: 'name' must be a non-empty string")
+    schema = header.get("schema", PACK_SCHEMA)
+    if schema != PACK_SCHEMA:
+        raise PackError(
+            f"pack {name!r}: unsupported schema version {schema!r} "
+            f"(this loader reads schema {PACK_SCHEMA})"
+        )
+
+    defaults = dict(data.get("defaults", {}))
+    _check_keys(defaults, list(CELL_FIELDS), f"pack {name!r} [defaults]")
+
+    raw_grids = data.get("grid", [])
+    if isinstance(raw_grids, Mapping):  # a single [grid] table
+        raw_grids = [raw_grids]
+    if not isinstance(raw_grids, list):
+        raise PackError(f"pack {name!r}: [[grid]] must be an array of tables")
+    grids: List[PackGrid] = []
+    for index, raw in enumerate(raw_grids):
+        gname = raw.get("name", f"grid{index}") if isinstance(raw, Mapping) else ""
+        where = f"pack {name!r}, grid {gname!r}"
+        if not isinstance(raw, Mapping):
+            raise PackError(f"{where}: each [[grid]] entry must be a table")
+        _check_keys(raw, ("name", "set", "axes"), where)
+        fixed = dict(raw.get("set", {}))
+        _check_keys(fixed, list(CELL_FIELDS), f"{where} [grid.set]")
+        axes_raw = raw.get("axes", {})
+        if not isinstance(axes_raw, Mapping):
+            raise PackError(f"{where}: [grid.axes] must be a table")
+        axes = tuple(
+            (axis, _validate_axis(name, gname, axis, values))
+            for axis, values in axes_raw.items()
+        )
+        grids.append(PackGrid(name=gname, set=fixed, axes=axes))
+
+    return ScenarioPack(
+        name=name,
+        title=str(header.get("title", name)),
+        description=str(header.get("description", "")),
+        schema=int(schema),
+        defaults=defaults,
+        grids=tuple(grids),
+        source=source,
+    )
+
+
+def parse_pack_text(
+    text: str, fmt: str = "toml", source: Optional[Path] = None
+) -> ScenarioPack:
+    """Parse pack ``text`` in ``fmt`` (``"toml"`` or ``"json"``)."""
+    origin = str(source) if source is not None else "<pack>"
+    if fmt == "toml":
+        if tomllib is None:  # pragma: no cover - 3.9/3.10 only
+            raise PackError(
+                f"{origin}: TOML packs need Python >= 3.11 (stdlib tomllib); "
+                "author the pack as JSON with the same structure instead"
+            )
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise PackError(f"{origin}: invalid TOML: {exc}") from None
+    elif fmt == "json":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise PackError(f"{origin}: invalid JSON: {exc}") from None
+    else:
+        raise PackError(f"unknown pack format {fmt!r}; expected 'toml' or 'json'")
+    return parse_pack(data, source=source)
+
+
+def load_pack_file(path: Union[str, Path]) -> ScenarioPack:
+    """Load one ``.toml`` / ``.json`` pack file; the [pack] name must match
+    the file stem (so the catalog's names and the files stay in sync)."""
+    path = Path(path)
+    fmt = path.suffix.lstrip(".").lower()
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise PackError(f"cannot read pack file {path}: {exc}") from None
+    pack = parse_pack_text(text, fmt=fmt, source=path)
+    if pack.name != path.stem:
+        raise PackError(
+            f"pack file {path.name}: [pack] name {pack.name!r} does not "
+            f"match the file stem {path.stem!r}"
+        )
+    return pack

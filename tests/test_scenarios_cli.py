@@ -1,0 +1,86 @@
+"""`repro scenarios` subcommand group: list / show / validate / run."""
+
+import json
+
+import pytest
+
+from repro.cli import FIG_CHOICES, build_parser, main
+
+
+def run_cli(args):
+    import contextlib
+    import io
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(args)
+    return code, buffer.getvalue()
+
+
+def test_fig_choices_derive_from_registry():
+    from repro.analysis import FIGURES
+
+    assert FIG_CHOICES == list(FIGURES)
+    assert "depth" in FIG_CHOICES
+
+
+def test_scenarios_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["scenarios"])
+
+
+def test_scenarios_list_shows_every_pack():
+    code, out = run_cli(["scenarios", "list"])
+    assert code == 0
+    for name in ("fig5", "fig6", "smoke", "wan-geo", "flash-crowd",
+                 "cascading-faults", "churn"):
+        assert name in out, name
+
+
+def test_scenarios_show_smoke():
+    code, out = run_cli(["scenarios", "show", "smoke"])
+    assert code == 0
+    assert "smoke" in out
+    assert "hotstuff-secp" in out
+    assert "cells at scale 1.0" in out
+
+
+def test_scenarios_validate_all():
+    code, out = run_cli(["scenarios", "validate"])
+    assert code == 0
+    assert "all" in out and "packs validate" in out
+
+
+def test_scenarios_validate_one():
+    code, out = run_cli(["scenarios", "validate", "fig6"])
+    assert code == 0
+    assert "ok   fig6 (36 cells)" in out
+
+
+def test_scenarios_run_smoke_table():
+    code, out = run_cli(["scenarios", "run", "smoke", "--scale", "0.5"])
+    assert code == 0
+    assert "kauri" in out and "hotstuff-secp" in out
+    assert "simulated" in out  # engine stats line
+
+
+def test_scenarios_run_smoke_json():
+    code, out = run_cli(
+        ["scenarios", "run", "smoke", "--scale", "0.5", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert len(payload) == 2
+    assert {entry["mode"] for entry in payload} == {"kauri", "hotstuff-secp"}
+
+
+def test_scenarios_run_report_validates(tmp_path):
+    out_path = tmp_path / "run_report.json"
+    code, out = run_cli(
+        ["scenarios", "run", "smoke", "--scale", "0.5",
+         "--report", str(out_path)]
+    )
+    assert code == 0
+    assert out_path.exists()
+    report = json.loads(out_path.read_text())
+    assert report  # non-empty RunReport JSON
