@@ -9,6 +9,14 @@ tree heights, picks the configuration with the best expected throughput,
 and prints the stretch to configure.
 
 Run:  python examples/capacity_planner.py [N] [rtt_ms] [bandwidth_mbps]
+
+With ``--measured``, the model-based plan is followed by a *measured*
+offered-load sweep through the workload engine (aggregate client
+populations, bounded leader mempool, end-to-end tail latency), answering
+"how many users fit this topology" from simulation instead of the closed
+-form model -- the same sweep ``python -m repro capacity`` runs:
+
+      python examples/capacity_planner.py --measured [users] [rate_per_user]
 """
 
 import sys
@@ -36,8 +44,82 @@ def plan(n: int, rtt_ms: float, bandwidth_mbps: float, block_kb: int = 250):
     return params, config, candidates
 
 
+def measured_plan(users: int, rate_per_user: float) -> None:
+    """Measure the saturation knee for a small Kauri deployment."""
+    from repro.runtime.sweep import ExperimentSpec, SweepRunner
+    from repro.runtime.workload import (
+        ClientClassSpec,
+        WorkloadSpec,
+        saturation_knee,
+    )
+
+    slo_ms = 1000.0
+    populations = [max(1, users * step // 4) for step in (1, 2, 3, 4)]
+    specs = [
+        ExperimentSpec(
+            mode="kauri",
+            scenario="national",
+            n=7,
+            duration=10.0,
+            workload=WorkloadSpec(
+                classes=(
+                    ClientClassSpec(
+                        name="users",
+                        population=population,
+                        rate_per_user=rate_per_user,
+                        slo_ms=slo_ms,
+                    ),
+                ),
+                capacity_txs=1500,
+            ),
+        )
+        for population in populations
+    ]
+    results = SweepRunner().run(specs)
+    points = []
+    rows = []
+    for population, result in zip(populations, results):
+        totals = result.workload["totals"]
+        generated = totals["generated"]
+        goodput = totals["committed"] / generated if generated else 0.0
+        latency = totals["latency"]
+        points.append({
+            "goodput": goodput,
+            "slo_met": latency["p99"] <= slo_ms / 1000.0,
+        })
+        rows.append(
+            (
+                f"{population:,}",
+                round(totals["offered_rate_txs"], 1),
+                totals["committed"],
+                round(latency["p50"] * 1000, 1),
+                round(latency["p99"] * 1000, 1),
+                round(latency["p999"] * 1000, 1),
+                f"{totals['drop_rate']:.1%}",
+            )
+        )
+    print(format_table(
+        ("Users", "Offered tx/s", "Committed", "p50 ms", "p99 ms",
+         "p999 ms", "Drops"),
+        rows,
+        title=f"Measured capacity: kauri n=7 (national), "
+              f"SLO p99 <= {slo_ms:.0f} ms",
+    ))
+    knee = saturation_knee(points)
+    if knee >= 0:
+        print(f"\nMeasured knee: ~{populations[knee]:,} users fit within "
+              f"the SLO")
+    else:
+        print("\nMeasured knee: none of the tested loads met the SLO")
+
+
 def main() -> None:
     argv = sys.argv[1:]
+    if argv and argv[0] == "--measured":
+        users = int(argv[1]) if len(argv) > 1 else 400_000
+        rate = float(argv[2]) if len(argv) > 2 else 0.002
+        measured_plan(users, rate)
+        return
     n = int(argv[0]) if len(argv) > 0 else 400
     rtt_ms_value = float(argv[1]) if len(argv) > 1 else 200.0
     bw = float(argv[2]) if len(argv) > 2 else 25.0

@@ -9,6 +9,8 @@ Commands:
 - ``fig``    -- regenerate an evaluation figure's series (fig5..fig12).
 - ``scenarios`` -- list / show / validate / run the declarative scenario
   packs checked in under ``scenarios/``.
+- ``capacity`` -- sweep offered load through the workload engine and
+  report how many users fit a topology (the saturation knee).
 - ``perf``   -- run the hot-path microbenchmarks (BENCH_core.json).
 - ``report`` -- run one deployment with observability on and emit its
   RunReport JSON (per-node utilization, saturation flags, phase spans).
@@ -659,6 +661,158 @@ def _cmd_scenarios(args) -> int:
     return 0
 
 
+def _add_capacity_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "capacity",
+        help="how many users fit this topology: sweep offered load through "
+             "the workload engine and report the saturation knee",
+    )
+    p.add_argument("--mode", default="kauri", choices=MODE_CHOICES)
+    p.add_argument("--scenario", default="national", choices=list(SCENARIOS))
+    p.add_argument("--n", type=int, default=7)
+    p.add_argument("--height", type=int, default=2)
+    p.add_argument("--users", type=int, default=1_000_000,
+                   help="target client population (the sweep's top load "
+                        "level is --max-load-factor times this)")
+    p.add_argument("--rate-per-user", type=float, default=0.001,
+                   help="transactions per second per user")
+    p.add_argument("--points", type=int, default=5,
+                   help="load levels swept up to users * max-load-factor")
+    p.add_argument("--max-load-factor", type=float, default=2.0)
+    p.add_argument("--duration", type=float, default=15.0,
+                   help="simulated seconds per load level")
+    p.add_argument("--capacity-txs", type=int, default=None,
+                   help="bounded leader mempool (admission control); "
+                        "default unbounded")
+    p.add_argument("--policy", default="drop", choices=["drop", "defer"],
+                   help="mempool overflow policy")
+    p.add_argument("--slo-ms", type=float, default=1000.0,
+                   help="end-to-end latency SLO, judged at p99")
+    p.add_argument("--goodput-threshold", type=float, default=0.9,
+                   help="knee rule: commit at least this fraction of "
+                        "generated load with the SLO met")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="write the knee cell's schema-validated RunReport "
+                        "JSON here")
+    _add_engine_args(p)
+
+
+def _cmd_capacity(args) -> int:
+    from repro.runtime.sweep import ExperimentSpec, SweepRunner
+    from repro.runtime.workload import (
+        ClientClassSpec,
+        WorkloadSpec,
+        saturation_knee,
+    )
+
+    if args.points < 1:
+        print("error: --points must be >= 1", file=sys.stderr)
+        return 2
+    factors = [
+        args.max_load_factor * (index + 1) / args.points
+        for index in range(args.points)
+    ]
+    populations = [max(1, int(args.users * factor)) for factor in factors]
+    specs = [
+        ExperimentSpec(
+            mode=args.mode,
+            scenario=args.scenario,
+            n=args.n,
+            height=args.height,
+            duration=args.duration,
+            seed=args.seed,
+            observability=bool(args.report),
+            workload=WorkloadSpec(
+                classes=(
+                    ClientClassSpec(
+                        name="users",
+                        population=population,
+                        rate_per_user=args.rate_per_user,
+                        slo_ms=args.slo_ms,
+                        slo_percentile=99.0,
+                    ),
+                ),
+                capacity_txs=args.capacity_txs,
+                policy=args.policy,
+            ),
+        )
+        for population in populations
+    ]
+    runner = SweepRunner(jobs=args.jobs, cache=not args.no_cache)
+    results = runner.run(specs)
+
+    points = []
+    for population, result in zip(populations, results):
+        totals = result.workload["totals"]
+        generated = totals["generated"]
+        latency = totals["latency"]
+        goodput = totals["committed"] / generated if generated else 0.0
+        points.append({
+            "users": population,
+            "offered_rate_txs": totals["offered_rate_txs"],
+            "generated": generated,
+            "committed": totals["committed"],
+            "dropped": totals["dropped"],
+            "drop_rate": totals["drop_rate"],
+            "goodput": goodput,
+            "latency": latency,
+            "slo_met": latency["p99"] <= args.slo_ms / 1000.0,
+        })
+    knee = saturation_knee(points, goodput_threshold=args.goodput_threshold)
+
+    if args.json:
+        print(json.dumps({"points": points, "knee": knee}, indent=2))
+    else:
+        rows = [
+            (
+                f"{point['users']:,}",
+                round(point["offered_rate_txs"], 1),
+                point["committed"],
+                round(point["latency"]["p50"] * 1000, 1),
+                round(point["latency"]["p99"] * 1000, 1),
+                round(point["latency"]["p999"] * 1000, 1),
+                f"{point['drop_rate']:.1%}",
+                "yes" if point["slo_met"] else "NO",
+                "<- knee" if index == knee else "",
+            )
+            for index, point in enumerate(points)
+        ]
+        print(format_table(
+            ("Users", "Offered tx/s", "Committed", "p50 ms", "p99 ms",
+             "p999 ms", "Drops", "SLO", ""),
+            rows,
+            title=f"Capacity sweep: {args.mode} n={args.n} "
+                  f"({args.scenario}), SLO p99 <= {args.slo_ms:.0f} ms",
+        ))
+        if knee >= 0:
+            point = points[knee]
+            print(f"saturation knee: ~{point['users']:,} users "
+                  f"({point['offered_rate_txs']:,.0f} tx/s offered) fit this "
+                  f"topology within the SLO")
+        else:
+            print("saturation knee: none of the tested load levels met the "
+                  "goodput/SLO rule; try a lighter load or a bigger topology")
+        stats = runner.last_stats
+        print(f"[{stats.backend} x{stats.jobs}: {stats.executed} simulated, "
+              f"{stats.cache_hits} cached]")
+
+    if args.report:
+        from repro.obs import report_json, validate_report
+
+        report = results[knee if knee >= 0 else 0].report
+        with open(args.report, "w") as fh:
+            fh.write(report_json(report))
+        print(f"wrote {args.report}")
+        problems = validate_report(report)
+        if problems:
+            for problem in problems:
+                print(f"SCHEMA: {problem}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _add_perf_parser(subparsers) -> None:
     p = subparsers.add_parser(
         "perf", help="run the hot-path microbenchmarks"
@@ -803,6 +957,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fig_parser(subparsers)
     _add_scenarios_parser(subparsers)
     _add_sweep_parser(subparsers)
+    _add_capacity_parser(subparsers)
     _add_perf_parser(subparsers)
     _add_report_parser(subparsers)
     return parser
@@ -820,6 +975,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig": _cmd_fig,
         "scenarios": _cmd_scenarios,
         "sweep": _cmd_sweep,
+        "capacity": _cmd_capacity,
         "perf": _cmd_perf,
         "report": _cmd_report,
     }

@@ -245,11 +245,19 @@ class SmrNode:
         self._enter_view(0)
 
     def _client_pump(self):
-        """Persistent ingress for client transaction batches (§2)."""
+        """Persistent ingress for client transaction batches (§2).
+
+        Admission-controlled workloads expose ``admit`` (bounded mempool
+        with drop/defer backpressure); plain ones only ``ingest``.
+        """
+        admit = getattr(self.workload, "admit", None)
         while True:
             msg = yield from self.endpoint.receive(CLIENT_TX_TAG)
             if isinstance(msg.payload, list):
-                self.workload.ingest(msg.payload)
+                if admit is not None:
+                    admit(msg.payload, self.sim.now)
+                else:
+                    self.workload.ingest(msg.payload)
 
     def stop(self) -> None:
         """Halt the replica (crash injection); idempotent."""

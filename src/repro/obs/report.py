@@ -188,6 +188,12 @@ def build_report(
                 getattr(n, "fast_fallbacks", 0) for n in cluster.nodes
             ),
         }
+    # Workload-engine runs only (same byte-identity rule as fast_path):
+    # a WorkloadHarness registers itself on the cluster; plain runs have
+    # no such attribute and their reports are unchanged.
+    workload_harness = getattr(cluster, "workload_harness", None)
+    if workload_harness is not None:
+        report["workload"] = workload_harness.summary()
     return _rounded(report)
 
 

@@ -25,6 +25,15 @@ from repro.runtime.sweep import (
     SweepStats,
     run_specs,
 )
+from repro.runtime.workload import (
+    ClientClassSpec,
+    LoadShape,
+    MmppModulator,
+    WorkloadHarness,
+    WorkloadSpec,
+    ZipfSampler,
+    make_workload_factory,
+)
 
 __all__ = [
     "Metrics",
@@ -43,4 +52,11 @@ __all__ = [
     "SweepRunner",
     "SweepStats",
     "run_specs",
+    "LoadShape",
+    "MmppModulator",
+    "ZipfSampler",
+    "ClientClassSpec",
+    "WorkloadSpec",
+    "WorkloadHarness",
+    "make_workload_factory",
 ]

@@ -15,9 +15,9 @@ i.e. the number of transactions offered by the client"). Accordingly:
 from __future__ import annotations
 
 import random
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.config import ProtocolConfig
 from repro.errors import ConfigError
@@ -54,39 +54,123 @@ class SaturatedWorkload:
         return f"SaturatedWorkload(block={self.config.block_size}B)"
 
 
+#: Admission policies for a bounded mempool. ``drop`` discards overflow
+#: (load shedding: clients see the loss in their drop counters); ``defer``
+#: parks overflow in an unbounded side queue that re-enters the mempool as
+#: proposals free space (modelling client-side retry buffers).
+MEMPOOL_POLICIES = ("drop", "defer")
+
+
 class MempoolWorkload:
     """A leader-side mempool fed by real client submissions (§2's client
     processes).
 
     Client batches arrive over the network (see :class:`ClientHarness`);
-    the node's client pump calls :meth:`ingest`, and each proposal drains
-    the oldest transactions up to the block size. Carries transaction ids
-    into blocks so end-to-end (submit-to-commit) latency is measurable.
+    the node's client pump calls :meth:`admit`, and each proposal drains
+    the oldest transactions up to the block budget -- both the payload-byte
+    cap *and* ``config.txs_per_block`` (the per-block transaction count the
+    CPU/crypto cost model assumes). Carries transaction ids into blocks so
+    end-to-end (submit-to-commit) latency is measurable.
+
+    ``capacity_txs`` bounds the mempool (admission control / leader
+    backpressure): beyond it, ``policy`` decides whether overflow is
+    dropped or deferred. Offered/admitted/dropped counters make the
+    conservation law checkable: ``offered == admitted + dropped +
+    deferred_txs`` at any instant.
     """
 
-    def __init__(self, config: ProtocolConfig):
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        capacity_txs: Optional[int] = None,
+        policy: str = "drop",
+    ):
+        if capacity_txs is not None and capacity_txs < 1:
+            raise ConfigError(f"mempool capacity must be >= 1, got {capacity_txs}")
+        if policy not in MEMPOOL_POLICIES:
+            raise ConfigError(
+                f"unknown mempool policy {policy!r}; expected one of "
+                f"{MEMPOOL_POLICIES}"
+            )
         self.config = config
+        self.capacity_txs = capacity_txs
+        self.policy = policy
         self._pending: "deque[Tx]" = deque()
-        self.ingested = 0
+        self._deferred: "deque[Tx]" = deque()
+        self.ingested = 0  # admitted into the mempool (back-compat name)
+        self.offered = 0
+        self.dropped = 0
+        #: Per-client admission accounting (client id -> count), letting a
+        #: workload harness attribute backpressure to client classes.
+        self.admitted_by_client: Counter = Counter()
+        self.dropped_by_client: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def _admit_one(self, tx: Tx) -> None:
+        self._pending.append(tx)
+        self.ingested += 1
+        self.admitted_by_client[tx.tx_id[0]] += 1
+
+    def _has_room(self) -> bool:
+        return self.capacity_txs is None or len(self._pending) < self.capacity_txs
+
+    def admit(self, txs, now: Optional[float] = None) -> int:
+        """Admission control: accept transactions up to capacity.
+
+        Returns the number admitted; overflow is dropped or deferred per
+        the policy. ``now`` is accepted for symmetry with the client pump
+        (admission is instantaneous in the model, so it is unused).
+        """
+        admitted = 0
+        for tx in txs:
+            if not isinstance(tx, Tx):
+                continue
+            self.offered += 1
+            if self._has_room():
+                self._admit_one(tx)
+                admitted += 1
+            elif self.policy == "defer":
+                self._deferred.append(tx)
+            else:
+                self.dropped += 1
+                self.dropped_by_client[tx.tx_id[0]] += 1
+        return admitted
 
     def ingest(self, txs) -> None:
-        for tx in txs:
-            if isinstance(tx, Tx):
-                self._pending.append(tx)
-                self.ingested += 1
+        self.admit(txs)
 
     def next_fill(self, now: float) -> BlockFill:
         taken = []
         payload = 0
-        while self._pending and payload + self._pending[0].size <= self.config.block_size:
-            tx = self._pending.popleft()
+        pending = self._pending
+        budget = self.config.txs_per_block
+        while (
+            pending
+            and len(taken) < budget
+            and payload + pending[0].size <= self.config.block_size
+        ):
+            tx = pending.popleft()
             payload += tx.size
             taken.append(tx)
+        # Backpressure release: space freed by the proposal re-admits
+        # deferred transactions in arrival order.
+        deferred = self._deferred
+        while deferred and self._has_room():
+            self._admit_one(deferred.popleft())
         return BlockFill(payload, len(taken), tuple(tx.tx_id for tx in taken))
 
     @property
     def queued_txs(self) -> int:
         return len(self._pending)
+
+    @property
+    def deferred_txs(self) -> int:
+        return len(self._deferred)
+
+    @property
+    def admitted(self) -> int:
+        """Transactions accepted into the mempool (alias of ``ingested``)."""
+        return self.ingested
 
 
 class _ClientAwareNetem:
@@ -115,6 +199,16 @@ class _ClientAwareNetem:
         if base_key is None:
             return (self._map(src), self._map(dst))
         return base_key(self._map(src), self._map(dst))
+
+    def rewrap(self, new_base) -> "_ClientAwareNetem":
+        """Carry the client mapping over to a replacement base shaper.
+
+        Netem swappers (e.g. ``topology.reconfig.swap_scenario``) call this
+        duck-typed hook so installing a new shaper preserves the client ->
+        access-point mapping instead of silently discarding it."""
+        if isinstance(new_base, _ClientAwareNetem):
+            new_base = new_base._base
+        return _ClientAwareNetem(new_base, self._n)
 
 
 class ClientHarness:
@@ -155,7 +249,12 @@ class ClientHarness:
         self.submitted: dict = {}
         self.e2e_latencies: List[float] = []
         self._client_ids = [cluster.n + k for k in range(num_clients)]
-        cluster.network.netem = _ClientAwareNetem(cluster.network.netem, cluster.n)
+        # Idempotent: a second harness (or a workload harness layered on a
+        # plain one) must not re-map already-mapped client ids.
+        if not isinstance(cluster.network.netem, _ClientAwareNetem):
+            cluster.network.netem = _ClientAwareNetem(
+                cluster.network.netem, cluster.n
+            )
         for client_id in self._client_ids:
             cluster.network.register(client_id)
         cluster.metrics.commit_listeners.append(self._on_commit)
@@ -222,17 +321,12 @@ class ClientHarness:
         return len(self.submitted)
 
     def e2e_latency_stats(self) -> dict:
-        from repro.runtime.metrics import percentile
+        """End-to-end (submit-to-commit) latency summary with tail
+        percentiles -- same shape as :meth:`Metrics.latency_stats`, plus
+        p99/p999 (tail latency is the product under overload)."""
+        from repro.runtime.metrics import E2E_PERCENTILES, latency_summary
 
-        if not self.e2e_latencies:
-            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0}
-        values = sorted(self.e2e_latencies)
-        return {
-            "count": len(values),
-            "mean": sum(values) / len(values),
-            "p50": percentile(values, 50),
-            "p95": percentile(values, 95),
-        }
+        return latency_summary(sorted(self.e2e_latencies), E2E_PERCENTILES)
 
 
 class PoissonWorkload:

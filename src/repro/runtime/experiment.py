@@ -41,6 +41,10 @@ class ExperimentResult:
     #: protocol). Defaulted so cached pre-upgrade results still load.
     fast_commits: int = 0
     fast_fallbacks: int = 0
+    #: Workload-engine summary (per-class SLO attainment, admission
+    #: counters, e2e tail latency) when the run drove a WorkloadHarness;
+    #: None for classic runs so cached pre-upgrade results still load.
+    workload: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     def row(self) -> Tuple:
         """Compact tuple for table printing."""
@@ -71,6 +75,7 @@ def run_experiment(
     uplink_lanes: int = 1,
     saturation_threshold: float = 0.95,
     observability: bool = False,
+    workload: Optional[Any] = None,
 ) -> ExperimentResult:
     """Build, run, and measure one deployment.
 
@@ -81,12 +86,26 @@ def run_experiment(
     ``observability=True`` additionally records per-instance phase spans
     and attaches the full :func:`repro.obs.build_report` document as
     ``result.report`` (measured over the same steady-state window).
+
+    ``workload`` (a :class:`~repro.runtime.workload.WorkloadSpec` or the
+    mapping form it lowers from) switches the run from the saturated
+    block-filler to the aggregate client-population engine: bounded
+    per-node mempools, a :class:`~repro.runtime.workload.WorkloadHarness`
+    submitting through the real client path into the Zipf-keyed KV
+    application, and ``result.workload`` carrying the per-class summary.
     """
     cfg = config if config is not None else ProtocolConfig()
     if block_size is not None:
         cfg = cfg.with_block_size(block_size)
     if stretch is not None:
         cfg = cfg.with_stretch(stretch)
+    workload_factory = None
+    if workload is not None:
+        from repro.runtime.workload import WorkloadSpec, make_workload_factory
+
+        if not isinstance(workload, WorkloadSpec):
+            workload = WorkloadSpec.from_mapping(workload)
+        workload_factory = make_workload_factory(workload, cfg)
     cluster = Cluster(
         n=n,
         mode=mode,
@@ -98,8 +117,19 @@ def run_experiment(
         crashes=crashes,
         uplink_lanes=uplink_lanes,
         observability=observability,
+        workload_factory=workload_factory,
     )
+    harness = None
+    if workload is not None:
+        from repro.app.kvstore import OpRegistry, attach_kv_application
+        from repro.runtime.workload import WorkloadHarness
+
+        registry = OpRegistry()
+        attach_kv_application(cluster, registry)
+        harness = WorkloadHarness(cluster, workload, registry=registry, seed=seed)
     cluster.start()
+    if harness is not None:
+        harness.start()
     cluster.run(duration=duration, max_commits=max_commits)
     cluster.check_agreement()
 
@@ -146,4 +176,5 @@ def run_experiment(
         fast_fallbacks=sum(
             getattr(node, "fast_fallbacks", 0) for node in cluster.nodes
         ),
+        workload=harness.summary() if harness is not None else None,
     )

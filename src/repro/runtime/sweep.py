@@ -38,6 +38,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.config import ClusterParams, NetworkParams, ProtocolConfig
 from repro.errors import ConfigError
 from repro.runtime.experiment import ExperimentResult, run_experiment
+from repro.runtime.workload import WorkloadSpec
 
 #: Bump whenever simulation semantics change such that an unchanged spec
 #: would produce different numbers; stale cache entries are then ignored.
@@ -98,6 +99,9 @@ class ExperimentSpec:
     uplink_lanes: int = 1
     saturation_threshold: float = 0.95
     observability: bool = False
+    #: Workload-engine spec; None keeps the classic saturated block-filler
+    #: (and, crucially, the classic cache key -- see :meth:`canonical`).
+    workload: Optional[WorkloadSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -105,6 +109,10 @@ class ExperimentSpec:
             "crashes",
             tuple((int(node), float(when)) for node, when in self.crashes),
         )
+        if self.workload is not None and not isinstance(self.workload, WorkloadSpec):
+            object.__setattr__(
+                self, "workload", WorkloadSpec.from_mapping(self.workload)
+            )
 
     # ``scenario`` may be a ClusterParams (carries a dict), so the
     # field-generated hash is unusable; hash the stable key instead.
@@ -119,7 +127,7 @@ class ExperimentSpec:
             if self.config is None
             else sorted(dataclasses.asdict(self.config).items())
         )
-        return {
+        canonical = {
             "schema": CACHE_SCHEMA,
             "mode": self.mode,
             "scenario": _encode_scenario(self.scenario),
@@ -138,6 +146,11 @@ class ExperimentSpec:
             "saturation_threshold": self.saturation_threshold,
             "observability": self.observability,
         }
+        # Strictly conditional: classic specs must hash exactly as they did
+        # before the workload field existed (cached results stay valid).
+        if self.workload is not None:
+            canonical["workload"] = self.workload.canonical()
+        return canonical
 
     def key(self) -> str:
         """Stable content hash (identical across processes and sessions)."""
@@ -164,6 +177,7 @@ class ExperimentSpec:
             uplink_lanes=self.uplink_lanes,
             saturation_threshold=self.saturation_threshold,
             observability=self.observability,
+            workload=self.workload,
         )
 
 

@@ -36,6 +36,7 @@ from repro.core.modes import MODES
 from repro.errors import ConfigError
 from repro.runtime.horizon import adaptive_duration
 from repro.runtime.sweep import ExperimentSpec, Scenario
+from repro.runtime.workload import WorkloadSpec
 from repro.scenarios.loader import (
     CELL_FIELDS,
     SCENARIO_KEYS,
@@ -350,6 +351,14 @@ def _build_spec(
     _expect(isinstance(obs, bool), where,
             f"observability must be a boolean, got {obs!r}")
     kwargs["observability"] = obs
+    workload_raw = merged.get("workload")
+    if workload_raw is not None:
+        _expect(isinstance(workload_raw, Mapping), where,
+                "'workload' must be a table")
+        try:
+            kwargs["workload"] = WorkloadSpec.from_mapping(workload_raw)
+        except ConfigError as exc:
+            raise PackError(f"{where} [workload]: {exc}") from None
     try:
         return ExperimentSpec(**kwargs)
     except ConfigError as exc:  # e.g. NetworkParams re-validation

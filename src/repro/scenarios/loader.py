@@ -72,6 +72,7 @@ CELL_FIELDS: Dict[str, str] = {
     "saturation_threshold": "CPU-saturation flag threshold",
     "faults": "crash schedule: list of [node, at_seconds] pairs",
     "config": "ProtocolConfig overrides (base_timeout, tx_size, ...)",
+    "workload": "workload-engine table (classes, capacity_txs, policy, ...)",
 }
 
 #: Keys allowed inside a ``scenario`` table.

@@ -42,10 +42,16 @@ def swap_scenario(network: Any, netem: Any) -> int:
     swapping ``network.netem`` directly would leave every already-priced
     pair on the old scenario's bandwidth and propagation values.
 
+    If the current shaper knows how to carry state over to a replacement
+    (duck-typed ``rewrap``, e.g. the client-id mapping installed by
+    ``runtime.clients.ClientHarness``), the new shaper is threaded through
+    it so the swap does not silently strip that layer.
+
     Returns the number of evicted pairs (see
     :meth:`repro.net.network.Network.invalidate_links`).
     """
-    network.netem = netem
+    rewrap = getattr(network.netem, "rewrap", None)
+    network.netem = netem if rewrap is None else rewrap(netem)
     return network.invalidate_links()
 
 

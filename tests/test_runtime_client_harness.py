@@ -24,6 +24,19 @@ def make_client_cluster(n=7, rate=2000.0, clients=4, block_kb=64, seed=0):
 
 
 class TestMempoolWorkload:
+    def test_fill_capped_by_txs_per_block_not_just_bytes(self):
+        """Tiny txs must not overfill a block past config.txs_per_block.
+
+        With 4 KB blocks and 1 KB nominal txs the protocol caps blocks at
+        4 txs; 100-byte txs would fit 40 by the byte budget alone."""
+        config = ProtocolConfig(block_size=4096, tx_size=1024)
+        assert config.txs_per_block == 4
+        pool = MempoolWorkload(config)
+        pool.ingest([Tx((0, k), 100, 0.0) for k in range(20)])
+        fill = pool.next_fill(1.0)
+        assert fill.num_txs == 4
+        assert pool.queued_txs == 16
+
     def test_drains_oldest_first_up_to_block_size(self):
         config = ProtocolConfig(block_size=1024, tx_size=512)
         pool = MempoolWorkload(config)
@@ -103,6 +116,43 @@ class TestClientHarness:
             ClientHarness(cluster, num_clients=0)
         with pytest.raises(ConfigError):
             ClientHarness(cluster, rate_txs=0)
+
+    def test_empty_harness_reports_full_e2e_stat_shape(self):
+        """e2e_latency_stats shares latency_summary's key set, including
+        the tail percentiles, even before any commit is observed."""
+        cluster, harness = make_client_cluster()
+        stats = harness.e2e_latency_stats()
+        assert set(stats) == {"count", "mean", "max", "p50", "p95", "p99", "p999"}
+        assert stats["count"] == 0
+        assert stats["p999"] == 0.0
+
+    def test_wrap_is_idempotent_across_harnesses(self):
+        """A second harness on the same cluster must not stack a second
+        client-aware wrapper around the netem (the double-wrap bug)."""
+        from repro.runtime.clients import _ClientAwareNetem
+
+        cluster, _ = make_client_cluster()
+        ClientHarness(cluster, num_clients=2, rate_txs=100.0)
+        netem = cluster.network.netem
+        assert isinstance(netem, _ClientAwareNetem)
+        assert not isinstance(netem._base, _ClientAwareNetem)
+
+    def test_netem_swap_preserves_client_mapping(self):
+        """swap_scenario must rebind the client wrapper onto the new base
+        shaper: client ids still resolve, and they price on the new params."""
+        from repro.config import NetworkParams
+        from repro.net.netem import HomogeneousNetem
+        from repro.runtime.clients import _ClientAwareNetem
+        from repro.topology.reconfig import swap_scenario
+
+        cluster, _ = make_client_cluster()
+        fast = NetworkParams("fast", rtt=0.002, bandwidth_bps=1e9)
+        swap_scenario(cluster.network, HomogeneousNetem(fast))
+        netem = cluster.network.netem
+        assert isinstance(netem, _ClientAwareNetem)
+        assert not isinstance(netem._base, _ClientAwareNetem)
+        # client id n maps onto node 0 and inherits the *new* link params
+        assert netem.params_between(cluster.n, 0) == fast
 
     def test_heterogeneous_clients_inherit_host_links(self):
         """Client ids map onto node link parameters under cluster netem."""
