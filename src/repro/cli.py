@@ -833,7 +833,16 @@ def _add_perf_parser(subparsers) -> None:
                         "machines, so the budget is tighter)")
     p.add_argument("--bench", action="append", default=None, metavar="NAME",
                    help="run only this bench (repeatable); default: all")
+    p.add_argument("--profile", action="store_true",
+                   help="run the benches under cProfile and write the "
+                        "top-25 cumulative hotspots next to --out")
     p.add_argument("--seed", type=int, default=0)
+
+
+def _profile_path(out: str) -> str:
+    """``BENCH_core.json`` -> ``BENCH_core.profile.txt`` (same directory)."""
+    root, _ext = os.path.splitext(out)
+    return f"{root}.profile.txt"
 
 
 def _cmd_perf(args) -> int:
@@ -844,11 +853,31 @@ def _cmd_perf(args) -> int:
         write_results,
     )
 
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         results = run_benches(quick=args.quick, seed=args.seed, only=args.bench)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    finally:
+        if profiler is not None:
+            profiler.disable()
+    if profiler is not None:
+        import io
+        import pstats
+
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(25)
+        profile_path = _profile_path(args.out)
+        with open(profile_path, "w") as fh:
+            fh.write(buffer.getvalue())
+        print(f"wrote {profile_path}")
     rows = [
         (name, f"{r.value:,.1f}", r.unit, r.n,
          "-" if r.peak_mb is None else f"{r.peak_mb:,.1f}", r.seed)
@@ -877,6 +906,71 @@ def _cmd_perf(args) -> int:
             return 1
         print(f"no regression beyond {args.tolerance:.0%} "
               f"(memory {args.mem_tolerance:.0%}) vs {args.check}")
+    return 0
+
+
+def _add_cache_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "cache",
+        help="inspect or bound the on-disk sweep result cache",
+    )
+    sub = p.add_subparsers(dest="cache_command", required=True)
+    stats = sub.add_parser("stats", help="inventory the cache directory")
+    stats.add_argument("--dir", default=None, metavar="PATH",
+                       help="cache directory (default: the sweep engine's, "
+                            "benchmarks/results/.cache or "
+                            "$REPRO_SWEEP_CACHE_DIR)")
+    stats.add_argument("--json", action="store_true", dest="as_json",
+                       help="machine-readable output")
+    prune = sub.add_parser(
+        "prune",
+        help="delete tmp/stale entries and bound the cache by age/size",
+    )
+    prune.add_argument("--dir", default=None, metavar="PATH",
+                       help="cache directory (default: the sweep engine's)")
+    prune.add_argument("--max-age-days", type=float, default=None,
+                       help="drop entries older than this many days")
+    prune.add_argument("--max-size-mb", type=float, default=None,
+                       help="drop oldest entries until the cache fits")
+    prune.add_argument("--keep-stale", action="store_true",
+                       help="keep entries with a non-current cache schema "
+                            "(dropped by default; they can never hit)")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="report what would be removed without deleting")
+
+
+def _cmd_cache(args) -> int:
+    from repro.runtime.sweep import cache_stats, prune_cache
+
+    if args.cache_command == "stats":
+        stats = cache_stats(root=args.dir)
+        if args.as_json:
+            print(json.dumps(dataclasses.asdict(stats), indent=2, sort_keys=True))
+            return 0
+        rows = [
+            ("entries", stats.entries),
+            ("size", f"{stats.size_bytes / 1e6:,.2f} MB"),
+            ("stale (old schema)", stats.stale),
+            ("corrupt", stats.corrupt),
+            ("tmp files", stats.tmp_files),
+            ("oldest", f"{stats.oldest_age_s / 86400.0:,.1f} days"),
+            ("newest", f"{stats.newest_age_s / 86400.0:,.1f} days"),
+        ]
+        print(format_table(("Field", "Value"), rows,
+                           title=f"Sweep cache: {stats.root}"))
+        return 0
+    result = prune_cache(
+        root=args.dir,
+        max_age_days=args.max_age_days,
+        max_size_mb=args.max_size_mb,
+        drop_stale=not args.keep_stale,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {result.removed} files ({result.freed_bytes / 1e6:,.2f} MB), "
+        f"kept {result.kept} entries"
+    )
     return 0
 
 
@@ -959,6 +1053,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_parser(subparsers)
     _add_capacity_parser(subparsers)
     _add_perf_parser(subparsers)
+    _add_cache_parser(subparsers)
     _add_report_parser(subparsers)
     return parser
 
@@ -977,6 +1072,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "capacity": _cmd_capacity,
         "perf": _cmd_perf,
+        "cache": _cmd_cache,
         "report": _cmd_report,
     }
     try:

@@ -248,9 +248,14 @@ class SmrNode:
         """Persistent ingress for client transaction batches (§2).
 
         Admission-controlled workloads expose ``admit`` (bounded mempool
-        with drop/defer backpressure); plain ones only ``ingest``.
+        with drop/defer backpressure); plain ones only ``ingest``. Bulk
+        mempools additionally expose ``admit_batch`` (amortised headroom
+        arithmetic over whole batches/chunks) -- preferred when present,
+        since the workload engine ships per-tick arrivals as lazy chunks.
         """
-        admit = getattr(self.workload, "admit", None)
+        admit = getattr(self.workload, "admit_batch", None)
+        if admit is None:
+            admit = getattr(self.workload, "admit", None)
         while True:
             msg = yield from self.endpoint.receive(CLIENT_TX_TAG)
             if isinstance(msg.payload, list):

@@ -12,6 +12,7 @@ from repro.perf.micro import (
     GUARDED_BENCHES,
     BenchResult,
     bench_aggregation,
+    bench_capacity_ingest,
     bench_end_to_end,
     bench_event_loop,
     bench_multicast_fanout,
@@ -26,6 +27,7 @@ __all__ = [
     "BenchResult",
     "GUARDED_BENCHES",
     "bench_aggregation",
+    "bench_capacity_ingest",
     "bench_end_to_end",
     "bench_event_loop",
     "bench_multicast_fanout",

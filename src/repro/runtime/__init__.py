@@ -8,13 +8,14 @@ throughput over a steady-state window, latency percentiles, and testbed
 saturation flags (the paper's red circles).
 """
 
-from repro.runtime.metrics import CommitRecord, Metrics
+from repro.runtime.metrics import CommitRecord, LatencyHistogram, Metrics
 from repro.runtime.clients import (
     ClientHarness,
     MempoolWorkload,
     PoissonWorkload,
     SaturatedWorkload,
     Tx,
+    TxChunk,
 )
 from repro.runtime.cluster import Cluster, build_cluster_tree
 from repro.runtime.experiment import ExperimentResult, run_experiment
@@ -42,7 +43,9 @@ __all__ = [
     "PoissonWorkload",
     "MempoolWorkload",
     "ClientHarness",
+    "LatencyHistogram",
     "Tx",
+    "TxChunk",
     "Cluster",
     "build_cluster_tree",
     "ExperimentResult",

@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 from repro.config import ProtocolConfig
 from repro.errors import ConfigError
@@ -39,6 +39,50 @@ class Tx:
     tx_id: Tuple[int, int]  # (client id, sequence number)
     size: int
     submitted_at: float
+
+
+class TxChunk(NamedTuple):
+    """A contiguous run of same-class transactions, represented lazily.
+
+    The workload engine synthesises arrivals in bulk: one tick of one
+    client class yields transactions ``(client_id, start_seq) ..
+    (client_id, start_seq + count - 1)``, all the same size, all submitted
+    at the same instant. Shipping that run as one flyweight instead of
+    ``count`` ``Tx`` objects makes synthesis and admission O(1) per tick;
+    individual tx ids are only materialised when a block drains them
+    (commit-rate bounded, not offered-rate bounded). Network timing is
+    unchanged because link costs are driven by the explicit ``size=``
+    argument of ``Network.send``, never by payload object shape.
+    """
+
+    client_id: int
+    start_seq: int
+    count: int
+    size: int  # per-transaction bytes
+    submitted_at: float
+
+    def split(self, k: int) -> Tuple["TxChunk", "TxChunk"]:
+        """(head of k txs, tail of the rest); 0 < k < count."""
+        return (
+            self._replace(count=k),
+            self._replace(start_seq=self.start_seq + k, count=self.count - k),
+        )
+
+    def tx_ids(self) -> List[Tuple[int, int]]:
+        client_id = self.client_id
+        return [
+            (client_id, seq)
+            for seq in range(self.start_seq, self.start_seq + self.count)
+        ]
+
+    def materialize(self) -> List[Tx]:
+        """Expand into per-transaction ``Tx`` objects (tests, plain
+        harnesses, and differential oracles -- never the fast path)."""
+        client_id, size, submitted_at = self.client_id, self.size, self.submitted_at
+        return [
+            Tx((client_id, seq), size, submitted_at)
+            for seq in range(self.start_seq, self.start_seq + self.count)
+        ]
 
 
 class SaturatedWorkload:
@@ -95,8 +139,13 @@ class MempoolWorkload:
         self.config = config
         self.capacity_txs = capacity_txs
         self.policy = policy
-        self._pending: "deque[Tx]" = deque()
-        self._deferred: "deque[Tx]" = deque()
+        # Queues hold Tx | TxChunk; the paired counters track the summed
+        # transaction counts so ``queued_txs``/``_has_room`` stay O(1)
+        # with chunked entries (len(deque) would undercount them).
+        self._pending: deque = deque()
+        self._pending_txs = 0
+        self._deferred: deque = deque()
+        self._deferred_txs = 0
         self.ingested = 0  # admitted into the mempool (back-compat name)
         self.offered = 0
         self.dropped = 0
@@ -108,11 +157,17 @@ class MempoolWorkload:
     # ------------------------------------------------------------------
     def _admit_one(self, tx: Tx) -> None:
         self._pending.append(tx)
+        self._pending_txs += 1
         self.ingested += 1
         self.admitted_by_client[tx.tx_id[0]] += 1
 
     def _has_room(self) -> bool:
-        return self.capacity_txs is None or len(self._pending) < self.capacity_txs
+        return self.capacity_txs is None or self._pending_txs < self.capacity_txs
+
+    def _headroom(self, want: int) -> int:
+        if self.capacity_txs is None:
+            return want
+        return min(want, max(0, self.capacity_txs - self._pending_txs))
 
     def admit(self, txs, now: Optional[float] = None) -> int:
         """Admission control: accept transactions up to capacity.
@@ -120,9 +175,16 @@ class MempoolWorkload:
         Returns the number admitted; overflow is dropped or deferred per
         the policy. ``now`` is accepted for symmetry with the client pump
         (admission is instantaneous in the model, so it is unused).
+
+        This is the per-item reference path (and the oracle the bulk path
+        is differentially tested against); hot callers go through
+        :meth:`admit_batch`.
         """
         admitted = 0
         for tx in txs:
+            if isinstance(tx, TxChunk):
+                admitted += self._admit_chunk(tx)
+                continue
             if not isinstance(tx, Tx):
                 continue
             self.offered += 1
@@ -131,41 +193,153 @@ class MempoolWorkload:
                 admitted += 1
             elif self.policy == "defer":
                 self._deferred.append(tx)
+                self._deferred_txs += 1
             else:
                 self.dropped += 1
                 self.dropped_by_client[tx.tx_id[0]] += 1
+        return admitted
+
+    def _admit_chunk(self, chunk: TxChunk) -> int:
+        """Admit one lazy run: capacity headroom computed once, overflow
+        split off with O(1) arithmetic instead of a per-tx loop."""
+        count = chunk.count
+        if count <= 0:
+            return 0
+        self.offered += count
+        take = self._headroom(count)
+        if take:
+            head = chunk if take == count else chunk.split(take)[0]
+            self._pending.append(head)
+            self._pending_txs += take
+            self.ingested += take
+            self.admitted_by_client[chunk.client_id] += take
+        overflow = count - take
+        if overflow:
+            rest = chunk if take == 0 else chunk.split(take)[1]
+            if self.policy == "defer":
+                self._deferred.append(rest)
+                self._deferred_txs += overflow
+            else:
+                self.dropped += overflow
+                self.dropped_by_client[chunk.client_id] += overflow
+        return take
+
+    def _admit_tx_run(self, txs: List[Tx]) -> int:
+        """Bulk-admit materialised transactions: one headroom computation,
+        one deque extend, one Counter update per outcome."""
+        count = len(txs)
+        self.offered += count
+        take = self._headroom(count)
+        if take:
+            accepted = txs if take == count else txs[:take]
+            self._pending.extend(accepted)
+            self._pending_txs += take
+            self.ingested += take
+            self.admitted_by_client.update(tx.tx_id[0] for tx in accepted)
+        if take < count:
+            overflow = txs[take:]
+            if self.policy == "defer":
+                self._deferred.extend(overflow)
+                self._deferred_txs += count - take
+            else:
+                self.dropped += count - take
+                self.dropped_by_client.update(tx.tx_id[0] for tx in overflow)
+        return take
+
+    def admit_batch(self, items, now: Optional[float] = None) -> int:
+        """Bulk admission: same outcome as :meth:`admit`, amortised cost.
+
+        ``items`` may mix ``TxChunk`` runs (the workload fast path) with
+        plain ``Tx`` objects; consecutive ``Tx`` runs are admitted with
+        slice arithmetic. Because headroom is consumed strictly in arrival
+        order, the admit/drop/defer outcome is invariant to how a batch is
+        partitioned into chunks (pinned by test).
+        """
+        admitted = 0
+        run: List[Tx] = []
+        for item in items:
+            if isinstance(item, TxChunk):
+                if run:
+                    admitted += self._admit_tx_run(run)
+                    run = []
+                admitted += self._admit_chunk(item)
+            elif isinstance(item, Tx):
+                run.append(item)
+        if run:
+            admitted += self._admit_tx_run(run)
         return admitted
 
     def ingest(self, txs) -> None:
         self.admit(txs)
 
     def next_fill(self, now: float) -> BlockFill:
-        taken = []
+        taken_ids: List[Tuple[int, int]] = []
         payload = 0
         pending = self._pending
         budget = self.config.txs_per_block
-        while (
-            pending
-            and len(taken) < budget
-            and payload + pending[0].size <= self.config.block_size
-        ):
-            tx = pending.popleft()
-            payload += tx.size
-            taken.append(tx)
+        block_size = self.config.block_size
+        while pending and len(taken_ids) < budget:
+            head = pending[0]
+            if isinstance(head, TxChunk):
+                size = head.size
+                room = budget - len(taken_ids)
+                if size > 0:
+                    room = min(room, (block_size - payload) // size)
+                take = min(room, head.count)
+                if take <= 0:
+                    break
+                client_id = head.client_id
+                start = head.start_seq
+                taken_ids.extend(
+                    (client_id, seq) for seq in range(start, start + take)
+                )
+                payload += take * size
+                self._pending_txs -= take
+                if take == head.count:
+                    pending.popleft()
+                else:
+                    pending[0] = head.split(take)[1]
+            else:
+                if payload + head.size > block_size:
+                    break
+                pending.popleft()
+                self._pending_txs -= 1
+                payload += head.size
+                taken_ids.append(head.tx_id)
         # Backpressure release: space freed by the proposal re-admits
-        # deferred transactions in arrival order.
+        # deferred transactions in arrival order. Deferred entries were
+        # already counted as offered at arrival, so release must bypass
+        # the offered counter (the conservation law
+        # ``offered == admitted + dropped + deferred_txs`` is pinned by
+        # test across defer -> release cycles).
         deferred = self._deferred
         while deferred and self._has_room():
-            self._admit_one(deferred.popleft())
-        return BlockFill(payload, len(taken), tuple(tx.tx_id for tx in taken))
+            head = deferred[0]
+            if isinstance(head, TxChunk):
+                take = self._headroom(head.count)
+                if take == head.count:
+                    deferred.popleft()
+                    chunk = head
+                else:
+                    chunk, deferred[0] = head.split(take)
+                self._deferred_txs -= take
+                self._pending.append(chunk)
+                self._pending_txs += take
+                self.ingested += take
+                self.admitted_by_client[chunk.client_id] += take
+            else:
+                deferred.popleft()
+                self._deferred_txs -= 1
+                self._admit_one(head)
+        return BlockFill(payload, len(taken_ids), tuple(taken_ids))
 
     @property
     def queued_txs(self) -> int:
-        return len(self._pending)
+        return self._pending_txs
 
     @property
     def deferred_txs(self) -> int:
-        return len(self._deferred)
+        return self._deferred_txs
 
     @property
     def admitted(self) -> int:

@@ -30,6 +30,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -44,6 +45,13 @@ from repro.runtime.workload import WorkloadSpec
 #: would produce different numbers; stale cache entries are then ignored.
 #: 2: half-open measurement windows + windowed (exact) leader utilization.
 CACHE_SCHEMA = 2
+
+#: Version of the *workload engine's* reported numbers, keyed into the
+#: canonical form only for workload-bearing specs: bumping it invalidates
+#: cached workload cells without moving a single classic cache key (those
+#: are pinned byte-identical by test).
+#: 2: histogram-backed e2e latency percentiles (ingest fast path).
+WORKLOAD_ENGINE_VERSION = 2
 
 #: Environment override for the default cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
@@ -148,8 +156,12 @@ class ExperimentSpec:
         }
         # Strictly conditional: classic specs must hash exactly as they did
         # before the workload field existed (cached results stay valid).
+        # The engine version key invalidates *only* workload-bearing cells
+        # when the workload engine's reported numbers change (v2: the
+        # histogram-backed ingest fast path); classic keys never move.
         if self.workload is not None:
             canonical["workload"] = self.workload.canonical()
+            canonical["workload_engine"] = WORKLOAD_ENGINE_VERSION
         return canonical
 
     def key(self) -> str:
@@ -364,3 +376,152 @@ def run_specs(
 ) -> List[ExperimentResult]:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
     return SweepRunner(jobs=jobs, cache=cache, cache_dir=cache_dir).run(specs)
+
+
+# ---------------------------------------------------------------------------
+# Cache maintenance
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class CacheStats:
+    """One inventory pass over a result-cache directory."""
+
+    root: str
+    entries: int = 0
+    size_bytes: int = 0
+    #: Entries whose recorded schema differs from the current CACHE_SCHEMA
+    #: (dead weight: ``ResultCache.get`` already treats them as misses).
+    stale: int = 0
+    #: Unreadable/corrupt entry files (also dead weight).
+    corrupt: int = 0
+    #: Leftover ``.tmp`` files from interrupted atomic writes.
+    tmp_files: int = 0
+    oldest_age_s: float = 0.0
+    newest_age_s: float = 0.0
+
+
+@dataclasses.dataclass
+class PruneResult:
+    """What one :func:`prune_cache` pass removed."""
+
+    removed: int = 0
+    freed_bytes: int = 0
+    kept: int = 0
+
+
+def _cache_entries(root: Path) -> List[Tuple[Path, "os.stat_result"]]:
+    """(path, stat) for every entry file, oldest first (mtime, then name,
+    so prune order is deterministic even with equal timestamps)."""
+    entries = []
+    for path in root.glob("*.json"):
+        try:
+            entries.append((path, path.stat()))
+        except OSError:
+            continue
+    entries.sort(key=lambda item: (item[1].st_mtime, item[0].name))
+    return entries
+
+
+def _entry_schema(path: Path) -> Optional[int]:
+    try:
+        return json.loads(path.read_text()).get("schema")
+    except (OSError, ValueError):
+        return None
+
+
+def cache_stats(
+    root: Optional[Union[str, Path]] = None, now: Optional[float] = None
+) -> CacheStats:
+    """Inventory the on-disk sweep cache (never modifies it)."""
+    root_path = Path(root) if root is not None else default_cache_dir()
+    stats = CacheStats(root=str(root_path))
+    if not root_path.is_dir():
+        return stats
+    reference = time.time() if now is None else now
+    ages = []
+    for path, stat in _cache_entries(root_path):
+        stats.entries += 1
+        stats.size_bytes += stat.st_size
+        ages.append(max(0.0, reference - stat.st_mtime))
+        schema = _entry_schema(path)
+        if schema is None:
+            stats.corrupt += 1
+        elif schema != CACHE_SCHEMA:
+            stats.stale += 1
+    for tmp in root_path.glob("*.tmp"):
+        stats.tmp_files += 1
+        try:
+            stats.size_bytes += tmp.stat().st_size
+        except OSError:
+            continue
+    if ages:
+        stats.oldest_age_s = max(ages)
+        stats.newest_age_s = min(ages)
+    return stats
+
+
+def prune_cache(
+    root: Optional[Union[str, Path]] = None,
+    max_age_days: Optional[float] = None,
+    max_size_mb: Optional[float] = None,
+    drop_stale: bool = True,
+    dry_run: bool = False,
+    now: Optional[float] = None,
+) -> PruneResult:
+    """Bound the sweep cache by age and total size.
+
+    Removal passes, in order: leftover ``.tmp`` files from interrupted
+    writes; entries that are corrupt or carry a non-current schema (when
+    ``drop_stale``, the default -- ``ResultCache.get`` never returns them
+    anyway); entries older than ``max_age_days``; then, if the directory
+    still exceeds ``max_size_mb``, the oldest surviving entries until it
+    fits. ``dry_run`` counts without deleting.
+    """
+    root_path = Path(root) if root is not None else default_cache_dir()
+    result = PruneResult()
+    if not root_path.is_dir():
+        return result
+    reference = time.time() if now is None else now
+
+    def remove(path: Path, size: int) -> None:
+        if not dry_run:
+            try:
+                path.unlink()
+            except OSError:
+                return
+        result.removed += 1
+        result.freed_bytes += size
+
+    for tmp in root_path.glob("*.tmp"):
+        try:
+            size = tmp.stat().st_size
+        except OSError:
+            size = 0
+        remove(tmp, size)
+
+    survivors = []
+    for path, stat in _cache_entries(root_path):
+        schema = _entry_schema(path)
+        if drop_stale and schema != CACHE_SCHEMA:
+            remove(path, stat.st_size)
+            continue
+        if (
+            max_age_days is not None
+            and reference - stat.st_mtime > max_age_days * 86400.0
+        ):
+            remove(path, stat.st_size)
+            continue
+        survivors.append((path, stat))
+
+    if max_size_mb is not None:
+        budget = max_size_mb * 1_000_000.0
+        total = sum(stat.st_size for _, stat in survivors)
+        index = 0
+        while total > budget and index < len(survivors):
+            path, stat = survivors[index]  # oldest first
+            remove(path, stat.st_size)
+            total -= stat.st_size
+            index += 1
+        survivors = survivors[index:]
+
+    result.kept = len(survivors)
+    return result

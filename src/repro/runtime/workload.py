@@ -32,8 +32,9 @@ runs and execution backends (the sweep engine's process pool included).
 from __future__ import annotations
 
 import math
+import os
 import random
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -42,7 +43,7 @@ from repro.runtime.clients import (
     MEMPOOL_POLICIES,
     ClientHarness,
     MempoolWorkload,
-    Tx,
+    TxChunk,
 )
 
 __all__ = [
@@ -224,6 +225,19 @@ class ZipfSampler:
     def sample(self) -> int:
         """Draw a 0-based key index (0 = hottest key)."""
         return bisect_left(self._cdf, self.rng.random())
+
+    def sample_batch(self, count: int) -> List[int]:
+        """Draw ``count`` key indices in one pass.
+
+        Draw-order identical to ``count`` sequential :meth:`sample` calls
+        (same rng stream), but with the CDF, the rng method, and the
+        bisect hoisted out of the loop -- the per-draw cost is one uniform
+        plus one C-level bisect, nothing else.
+        """
+        cdf = self._cdf
+        rand = self.rng.random
+        search = bisect_left
+        return [search(cdf, rand()) for _ in range(count)]
 
 
 # ----------------------------------------------------------------------
@@ -432,12 +446,29 @@ def make_workload_factory(spec: WorkloadSpec, config):
 
 @dataclass
 class _ClassState:
-    """Mutable per-class accounting (one per ClientClassSpec)."""
+    """Mutable per-class accounting (one per ClientClassSpec).
+
+    Latencies live in a :class:`LatencyHistogram` (O(buckets), not
+    O(committed)); submission times are recorded per *tick* as parallel
+    ``(start_seq, time)`` epoch arrays -- every transaction of one tick
+    shares a submit instant, so a commit recovers its submit time with one
+    bisect over O(ticks) state instead of an O(generated) per-tx dict.
+    """
 
     spec: ClientClassSpec
     client_id: int
     generated: int = 0
-    latencies: List[float] = field(default_factory=list)
+    within_slo: int = 0
+    slo_target_s: float = 0.0
+    hist: "LatencyHistogram" = field(default_factory=lambda: _new_histogram())
+    submit_seqs: List[int] = field(default_factory=list)
+    submit_times: List[float] = field(default_factory=list)
+
+
+def _new_histogram():
+    from repro.runtime.metrics import LatencyHistogram
+
+    return LatencyHistogram()
 
 
 class WorkloadHarness(ClientHarness):
@@ -470,7 +501,11 @@ class WorkloadHarness(ClientHarness):
             batch_interval=spec.batch_interval,
         )
         self.classes: List[_ClassState] = [
-            _ClassState(spec=cls, client_id=self._client_ids[index])
+            _ClassState(
+                spec=cls,
+                client_id=self._client_ids[index],
+                slo_target_s=cls.slo_ms / 1000.0,
+            )
             for index, cls in enumerate(spec.classes)
         ]
         self._class_by_client = {
@@ -481,6 +516,11 @@ class WorkloadHarness(ClientHarness):
             spec.zipf_s,
             random.Random(f"workload-keys:{seed}"),
         )
+        self._latency_hist = _new_histogram()
+        # Ticks at very high rates ship one flyweight chunk per
+        # ``_chunk_txs`` transactions (payload partitioning only -- the
+        # per-tick network send and its byte size are unchanged).
+        self._chunk_txs = max(1, int(os.environ.get("REPRO_INGEST_CHUNK", "8192")))
         cluster.workload_harness = self
 
     # ------------------------------------------------------------------
@@ -494,32 +534,44 @@ class WorkloadHarness(ClientHarness):
             rng = random.Random(f"workload:{self.seed}:{cls.name}")
             mmpp = MmppModulator(cls.mmpp, rng) if cls.mmpp else None
             interval = self.spec.batch_interval
+            jitter = self.spec.jitter
+            chunk_txs = self._chunk_txs
+            tx_size = self.tx_size
+            client_id = state.client_id
+            sim = self.cluster.sim
+            network_send = self.cluster.network.send
             backlog = 0.0
             seq = 0
             while True:
                 yield Sleep(interval)
-                now = self.cluster.sim.now
+                now = sim.now
                 rate = cls.rate_at(now)
                 if mmpp is not None:
                     rate *= mmpp.multiplier(now)
                 expected = rate * interval
-                if self.spec.jitter and expected > 0:
+                if jitter and expected > 0:
                     expected = max(0.0, rng.gauss(expected, expected ** 0.5))
                 backlog += expected
                 count = int(backlog)
                 backlog -= count
                 if count == 0:
                     continue
-                batch = []
-                for _ in range(count):
-                    tx = self._make_class_tx(state, seq, now)
-                    self.submitted[tx.tx_id] = now
-                    batch.append(tx)
-                    seq += 1
+                if self.registry is not None:
+                    self._record_ops(state, seq, count)
+                batch: List[TxChunk] = []
+                start = seq
+                end = seq + count
+                while start < end:
+                    take = min(chunk_txs, end - start)
+                    batch.append(TxChunk(client_id, start, take, tx_size, now))
+                    start += take
                 state.generated += count
+                state.submit_seqs.append(seq)
+                state.submit_times.append(now)
+                seq = end
                 leader = self._current_leader()
-                self.cluster.network.send(
-                    state.client_id, leader, CLIENT_TX_TAG, batch,
+                network_send(
+                    client_id, leader, CLIENT_TX_TAG, batch,
                     size=count * self.tx_size,
                 )
 
@@ -530,32 +582,42 @@ class WorkloadHarness(ClientHarness):
                 name=f"workload-{state.spec.name}",
             )
 
-    def _make_class_tx(self, state: _ClassState, seq: int, now: float) -> Tx:
-        tx = Tx((state.client_id, seq), self.tx_size, now)
-        if self.registry is not None:
-            from repro.app.kvstore import KvOp
+    def _record_ops(self, state: _ClassState, seq: int, count: int) -> None:
+        """Attach one Zipf-keyed KV write per transaction of a tick.
 
-            key_index = self._zipf.sample()
-            self.registry.record(
-                tx.tx_id,
-                KvOp(
-                    kind="set",
-                    key=f"k{key_index}",
-                    value=f"{state.spec.name}s{seq}",
-                ),
+        Keys come from one batched draw (same rng stream and draw order as
+        ``count`` sequential draws, pinned by the arrival-sequence test).
+        """
+        from repro.app.kvstore import KvOp
+
+        record = self.registry.record
+        name = state.spec.name
+        client_id = state.client_id
+        for offset, key_index in enumerate(self._zipf.sample_batch(count)):
+            tx_seq = seq + offset
+            record(
+                (client_id, tx_seq),
+                KvOp(kind="set", key=f"k{key_index}", value=f"{name}s{tx_seq}"),
             )
-        return tx
 
     def _on_commit(self, record, block) -> None:
+        commit_time = record.time
+        by_client = self._class_by_client
+        total_hist_add = self._latency_hist.add
         for tx_id in block.tx_ids:
-            submitted_at = self.submitted.pop(tx_id, None)
-            if submitted_at is None:
+            state = by_client.get(tx_id[0])
+            if state is None:
                 continue
-            latency = record.time - submitted_at
-            self.e2e_latencies.append(latency)
-            state = self._class_by_client.get(tx_id[0])
-            if state is not None:
-                state.latencies.append(latency)
+            # Every tx of one tick shares a submit time; recover it from
+            # the per-tick epoch arrays by sequence number.
+            index = bisect_right(state.submit_seqs, tx_id[1]) - 1
+            if index < 0:
+                continue
+            latency = commit_time - state.submit_times[index]
+            state.hist.add(latency)
+            if latency <= state.slo_target_s:
+                state.within_slo += 1
+            total_hist_add(latency)
 
     # ------------------------------------------------------------------
     def _mempool_counters(self) -> Tuple[Dict[int, int], Dict[int, int], int]:
@@ -576,6 +638,26 @@ class WorkloadHarness(ClientHarness):
                 dropped[client_id] = dropped.get(client_id, 0) + count
         return admitted, dropped, offered
 
+    # ------------------------------------------------------------------
+    @property
+    def committed_txs(self) -> int:
+        return self._latency_hist.count
+
+    @property
+    def lost_estimate(self) -> int:
+        """Generated transactions not (yet) committed -- in flight,
+        shed by admission control, or lost to deposed leaders."""
+        generated = sum(state.generated for state in self.classes)
+        return generated - self._latency_hist.count
+
+    def e2e_latency_stats(self) -> Dict[str, float]:
+        """Histogram-backed end-to-end latency summary (same key set as
+        the exact path; see :class:`LatencyHistogram` for the error
+        model)."""
+        from repro.runtime.metrics import E2E_PERCENTILES
+
+        return self._latency_hist.summary(E2E_PERCENTILES)
+
     def summary(self) -> Dict[str, Any]:
         """Deterministic per-class + total accounting for the run report.
 
@@ -584,20 +666,18 @@ class WorkloadHarness(ClientHarness):
         lost to deposed leaders), and across the mempools
         ``offered == admitted + dropped (+ still-deferred)``.
         """
-        from repro.runtime.metrics import E2E_PERCENTILES, latency_summary, percentile
+        from repro.runtime.metrics import E2E_PERCENTILES
 
         admitted_by, dropped_by, mempool_offered = self._mempool_counters()
         classes = []
         for state in self.classes:
             cls = state.spec
-            latencies = sorted(state.latencies)
-            stats = latency_summary(latencies, E2E_PERCENTILES)
-            slo_target = cls.slo_ms / 1000.0
-            if latencies:
-                observed = percentile(latencies, cls.slo_percentile)
-                within = sum(1 for lat in latencies if lat <= slo_target)
-                attainment = within / len(latencies)
-                slo_met = observed <= slo_target
+            stats = state.hist.summary(E2E_PERCENTILES)
+            committed = state.hist.count
+            if committed:
+                observed = state.hist.percentile(cls.slo_percentile)
+                attainment = state.within_slo / committed
+                slo_met = observed * 1000.0 <= cls.slo_ms
             else:
                 observed = 0.0
                 attainment = 0.0
@@ -611,7 +691,7 @@ class WorkloadHarness(ClientHarness):
                 "generated": state.generated,
                 "admitted": admitted,
                 "dropped": dropped,
-                "committed": len(latencies),
+                "committed": committed,
                 "latency": stats,
                 "slo": {
                     "target_ms": cls.slo_ms,
@@ -634,7 +714,7 @@ class WorkloadHarness(ClientHarness):
             "dropped": dropped,
             "committed": committed,
             "drop_rate": dropped / mempool_offered if mempool_offered else 0.0,
-            "latency": latency_summary(sorted(self.e2e_latencies), E2E_PERCENTILES),
+            "latency": self._latency_hist.summary(E2E_PERCENTILES),
         }
         return {
             "policy": self.spec.policy,

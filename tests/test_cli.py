@@ -151,3 +151,56 @@ def test_module_entrypoint():
     )
     assert proc.returncode == 0
     assert "Kauri" in proc.stdout
+
+
+def test_cache_stats_json(tmp_path):
+    (tmp_path / "entry.json").write_text('{"schema": 1}')
+    (tmp_path / "leftover.tmp").write_text("x")
+    code, out = run_cli(["cache", "stats", "--dir", str(tmp_path), "--json"])
+    assert code == 0
+    stats = json.loads(out)
+    assert stats["entries"] == 1
+    assert stats["tmp_files"] == 1
+    assert stats["root"] == str(tmp_path)
+
+
+def test_cache_stats_table(tmp_path):
+    code, out = run_cli(["cache", "stats", "--dir", str(tmp_path)])
+    assert code == 0
+    assert "entries" in out and "tmp files" in out
+
+
+def test_cache_prune_dry_run_then_real(tmp_path):
+    (tmp_path / "leftover.tmp").write_text("x" * 10)
+    code, out = run_cli(
+        ["cache", "prune", "--dir", str(tmp_path), "--dry-run"]
+    )
+    assert code == 0
+    assert "would remove 1 files" in out
+    assert (tmp_path / "leftover.tmp").exists()
+    code, out = run_cli(["cache", "prune", "--dir", str(tmp_path)])
+    assert code == 0
+    assert "removed 1 files" in out
+    assert not (tmp_path / "leftover.tmp").exists()
+
+
+def test_cache_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["cache"])
+
+
+def test_perf_profile_writes_hot_path_listing(tmp_path):
+    """--profile drops a cProfile top-25 cumulative listing next to the
+    results file, without disturbing the bench output itself."""
+    out_path = tmp_path / "bench.json"
+    code, out = run_cli(
+        ["perf", "--quick", "--bench", "event_loop",
+         "--out", str(out_path), "--profile"]
+    )
+    assert code == 0
+    profile_path = tmp_path / "bench.profile.txt"
+    assert profile_path.exists()
+    text = profile_path.read_text()
+    assert "cumulative" in text
+    assert str(profile_path) in out
+    assert "event_loop" in json.loads(out_path.read_text())

@@ -1,0 +1,464 @@
+"""High-rate ingest fast path: chunked arrival synthesis, bulk mempool
+admission, histogram-backed latency accounting, and the sweep-cache
+maintenance surface that rides along with them.
+
+The load-bearing invariants pinned here:
+
+* the chunked client path produces the byte-identical arrival sequence
+  the per-``Tx`` path produced (digest pinned below), for any chunk size;
+* ``admit_batch`` is outcome-equivalent to the per-item ``admit`` oracle,
+  and invariant to how a batch is partitioned into chunks;
+* the admission conservation law ``offered == ingested + dropped +
+  deferred_txs`` holds at every step across defer -> release cycles;
+* ``LatencyHistogram`` percentiles track the exact nearest-rank
+  percentile within the documented relative-error bound, in O(buckets)
+  memory regardless of sample volume.
+"""
+
+import hashlib
+import math
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, ProtocolConfig
+from repro.config import KB
+from repro.runtime import LatencyHistogram, MempoolWorkload, Tx, TxChunk
+from repro.runtime.metrics import (
+    E2E_PERCENTILES,
+    latency_summary,
+    percentile,
+)
+from repro.runtime.workload import (
+    ClientClassSpec,
+    WorkloadHarness,
+    WorkloadSpec,
+    make_workload_factory,
+)
+
+
+# ---------------------------------------------------------------------------
+# TxChunk flyweight
+# ---------------------------------------------------------------------------
+class TestTxChunk:
+    def test_split_partitions_the_run(self):
+        chunk = TxChunk(client_id=3, start_seq=10, count=7, size=512,
+                        submitted_at=1.5)
+        head, tail = chunk.split(2)
+        assert head.count == 2 and head.start_seq == 10
+        assert tail.count == 5 and tail.start_seq == 12
+        assert head.tx_ids() + tail.tx_ids() == chunk.tx_ids()
+
+    def test_materialize_matches_tx_ids(self):
+        chunk = TxChunk(client_id=1, start_seq=0, count=4, size=256,
+                        submitted_at=0.25)
+        txs = chunk.materialize()
+        assert [tx.tx_id for tx in txs] == chunk.tx_ids()
+        assert all(isinstance(tx, Tx) for tx in txs)
+        assert all(tx.size == 256 and tx.submitted_at == 0.25 for tx in txs)
+
+
+# ---------------------------------------------------------------------------
+# Bulk admission: differential vs the per-item oracle
+# ---------------------------------------------------------------------------
+def make_pool(capacity, policy, block_size=64 * KB, tx_size=512):
+    config = ProtocolConfig(block_size=block_size, tx_size=tx_size)
+    return MempoolWorkload(config, capacity_txs=capacity, policy=policy)
+
+
+def flatten(items):
+    """Materialise a mixed Tx/TxChunk batch into per-tx objects."""
+    txs = []
+    for item in items:
+        if isinstance(item, TxChunk):
+            txs.extend(item.materialize())
+        else:
+            txs.append(item)
+    return txs
+
+
+def pool_state(pool):
+    return {
+        "offered": pool.offered,
+        "ingested": pool.ingested,
+        "dropped": pool.dropped,
+        "queued": pool.queued_txs,
+        "deferred": pool.deferred_txs,
+        "admitted_by_client": dict(pool.admitted_by_client),
+        "dropped_by_client": dict(pool.dropped_by_client),
+    }
+
+
+def drain(pool, rounds=200):
+    """Repeated next_fill until the pool is empty; returns the concatenated
+    tx id sequence and payload sizes (the proposer-visible surface)."""
+    ids, payloads = [], []
+    for now in range(rounds):
+        fill = pool.next_fill(float(now))
+        if fill.num_txs == 0 and pool.queued_txs == 0 and pool.deferred_txs == 0:
+            break
+        ids.extend(fill.tx_ids)
+        payloads.append(fill.payload_size)
+    return ids, payloads
+
+
+batch_items = st.lists(
+    st.tuples(
+        st.booleans(),                      # chunk or single tx
+        st.integers(min_value=0, max_value=3),   # client id
+        st.integers(min_value=1, max_value=40),  # chunk count
+        st.sampled_from([128, 512, 700]),        # tx size
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+def build_items(raw):
+    """Unique, per-client-monotonic tx ids, as the workload engine emits."""
+    items, next_seq = [], {}
+    for is_chunk, client, count, size in raw:
+        seq = next_seq.get(client, 0)
+        if is_chunk:
+            items.append(TxChunk(client, seq, count, size, 0.125))
+            next_seq[client] = seq + count
+        else:
+            items.append(Tx((client, seq), size, 0.125))
+            next_seq[client] = seq + 1
+    return items
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    raw=batch_items,
+    capacity=st.one_of(st.none(), st.integers(min_value=1, max_value=60)),
+    policy=st.sampled_from(["drop", "defer"]),
+)
+def test_admit_batch_matches_per_item_oracle(raw, capacity, policy):
+    items = build_items(raw)
+    fast = make_pool(capacity, policy)
+    oracle = make_pool(capacity, policy)
+    admitted_fast = fast.admit_batch(items)
+    admitted_ref = oracle.admit(flatten(items))
+    assert admitted_fast == admitted_ref
+    assert pool_state(fast) == pool_state(oracle)
+    assert drain(fast) == drain(oracle)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    count=st.integers(min_value=1, max_value=120),
+    cuts=st.lists(st.integers(min_value=1, max_value=119), max_size=6),
+    capacity=st.one_of(st.none(), st.integers(min_value=1, max_value=60)),
+    policy=st.sampled_from(["drop", "defer"]),
+)
+def test_admission_invariant_to_chunk_partition(count, cuts, capacity, policy):
+    """Splitting one arrival run into sub-chunks never changes the
+    admit/drop/defer outcome (headroom is consumed in arrival order)."""
+    whole = TxChunk(client_id=0, start_seq=0, count=count, size=512,
+                    submitted_at=0.0)
+    bounds = [0] + sorted(set(c for c in cuts if c < count)) + [count]
+    parts = [
+        TxChunk(0, lo, hi - lo, 512, 0.0)
+        for lo, hi in zip(bounds, bounds[1:])
+        if hi > lo
+    ]
+    assert sum(p.count for p in parts) == count
+
+    one = make_pool(capacity, policy)
+    many = make_pool(capacity, policy)
+    one.admit_batch([whole])
+    many.admit_batch(parts)
+    assert pool_state(one) == pool_state(many)
+    assert drain(one) == drain(many)
+
+
+def test_admit_accepts_chunks_too():
+    """The reference path understands chunks (used by plain harness code
+    and as the fallback when a workload lacks admit_batch)."""
+    pool = make_pool(capacity=5, policy="drop")
+    taken = pool.admit([TxChunk(0, 0, 8, 512, 0.0)])
+    assert taken == 5
+    assert pool.offered == 8 and pool.dropped == 3
+    assert pool.dropped_by_client[0] == 3
+
+
+def test_chunk_drain_splits_across_blocks():
+    """A chunk larger than one block drains partially and keeps ids
+    contiguous across fills."""
+    config = ProtocolConfig(block_size=4 * 512, tx_size=512)
+    pool = MempoolWorkload(config, capacity_txs=None, policy="drop")
+    pool.admit_batch([TxChunk(7, 100, 10, 512, 0.0)])
+    first = pool.next_fill(0.0)
+    second = pool.next_fill(1.0)
+    third = pool.next_fill(2.0)
+    assert first.num_txs == 4 and second.num_txs == 4 and third.num_txs == 2
+    assert list(first.tx_ids + second.tx_ids + third.tx_ids) == [
+        (7, seq) for seq in range(100, 110)
+    ]
+    assert first.payload_size == 4 * 512
+    assert pool.queued_txs == 0
+
+
+# ---------------------------------------------------------------------------
+# Conservation law across defer -> release cycles
+# ---------------------------------------------------------------------------
+def check_conservation(pool):
+    assert pool.offered == pool.ingested + pool.dropped + pool.deferred_txs
+    if pool.capacity_txs is not None:
+        assert pool.queued_txs <= pool.capacity_txs
+
+
+@pytest.mark.parametrize("policy", ["drop", "defer"])
+@pytest.mark.parametrize("use_batch", [False, True])
+def test_conservation_law_across_release_cycles(policy, use_batch):
+    """offered == ingested + dropped + deferred holds at every step, for
+    both admission paths, across sustained defer -> release cycles.
+
+    Deferred entries are counted as offered at arrival, so the release
+    loop inside next_fill must bypass the offered counter; double-counting
+    there is exactly what this regression test exists to catch.
+    """
+    rng = random.Random(11)
+    pool = make_pool(capacity=50, policy=policy)
+    admit = pool.admit_batch if use_batch else pool.admit
+    for step in range(60):
+        items = []
+        for _ in range(rng.randrange(4)):
+            client = rng.randrange(3)
+            if rng.random() < 0.5:
+                items.append(TxChunk(client, step * 1000 + len(items) * 100,
+                                     rng.randrange(1, 40), 512, float(step)))
+            else:
+                items.append(Tx((client, step * 1000 + len(items) * 100),
+                               512, float(step)))
+        admit(items)
+        check_conservation(pool)
+        pool.next_fill(float(step))
+        check_conservation(pool)
+    # Drain to empty: with defer nothing is ever dropped, and everything
+    # offered is eventually ingested.
+    drain(pool)
+    check_conservation(pool)
+    assert pool.deferred_txs == 0
+    if policy == "defer":
+        assert pool.dropped == 0
+        assert pool.ingested == pool.offered
+
+
+def test_release_preserves_arrival_order_with_chunks():
+    pool = make_pool(capacity=4, policy="defer", block_size=2 * 512)
+    pool.admit_batch([
+        TxChunk(0, 0, 3, 512, 0.0),
+        Tx((1, 0), 512, 0.0),
+        TxChunk(2, 0, 3, 512, 0.0),
+    ])
+    check_conservation(pool)
+    ids, _ = drain(pool)
+    assert ids == [(0, 0), (0, 1), (0, 2), (1, 0), (2, 0), (2, 1), (2, 2)]
+    check_conservation(pool)
+
+
+# ---------------------------------------------------------------------------
+# LatencyHistogram
+# ---------------------------------------------------------------------------
+class TestLatencyHistogram:
+    def test_empty_summary_matches_exact_shape(self):
+        hist = LatencyHistogram()
+        assert hist.summary(E2E_PERCENTILES) == latency_summary(
+            [], E2E_PERCENTILES
+        )
+        assert len(hist) == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets_per_octave=0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(low=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(50)
+
+    def test_exact_count_min_max_and_clamped_mean(self):
+        hist = LatencyHistogram()
+        values = [0.003, 0.8, 0.0021, 2.5, 0.8]
+        hist.add_many(values)
+        summary = hist.summary(E2E_PERCENTILES)
+        assert summary["count"] == len(values)
+        assert summary["max"] == max(values)
+        assert hist.min == min(values)
+        assert summary["mean"] == pytest.approx(sum(values) / len(values))
+        assert min(values) <= summary["mean"] <= max(values)
+
+    def test_documented_error_bound_on_random_latencies(self):
+        """p50/p95/p99/p999 stay within relative_error of the exact
+        nearest-rank percentile across seven orders of magnitude."""
+        rng = random.Random(5)
+        hist = LatencyHistogram()
+        values = [10 ** rng.uniform(-5.5, 1.5) for _ in range(20_000)]
+        hist.add_many(values)
+        values.sort()
+        bound = hist.relative_error * (1 + 1e-9) + 1e-15
+        for p in E2E_PERCENTILES:
+            exact = percentile(values, p)
+            assert abs(hist.percentile(p) - exact) <= exact * bound
+
+    def test_memory_is_bounded_by_dynamic_range_not_volume(self):
+        hist = LatencyHistogram()
+        rng = random.Random(9)
+        for _ in range(50_000):
+            hist.add(10 ** rng.uniform(-6, 4))
+        # 1e-6 .. 1e4 is ~33 octaves; sparse buckets can never exceed
+        # (octaves + 1) * buckets_per_octave however many samples arrive.
+        assert len(hist.counts) <= 34 * hist.buckets_per_octave
+        assert hist.count == 50_000
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-6, max_value=1e4, allow_nan=False,
+                      allow_infinity=False),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_percentile_parity_with_exact_path(self, values):
+        hist = LatencyHistogram()
+        hist.add_many(values)
+        ordered = sorted(values)
+        # relative_error covers the half-bucket representative offset; one
+        # extra half bucket absorbs float rounding of the log at bucket
+        # boundaries (hypothesis aims for them).
+        bound = 2.0 ** (1.5 / hist.buckets_per_octave) - 1.0 + 1e-12
+        for p in (0, 50, 95, 99, 100):
+            exact = percentile(ordered, p)
+            got = hist.percentile(p)
+            assert abs(got - exact) <= exact * bound
+            assert hist.min <= got <= hist.max
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-6, max_value=1e4, allow_nan=False,
+                      allow_infinity=False),
+            min_size=1,
+            max_size=200,
+        ),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_insertion_order_independent(self, values, seed):
+        forward = LatencyHistogram()
+        forward.add_many(values)
+        shuffled = list(values)
+        random.Random(seed).shuffle(shuffled)
+        other = LatencyHistogram()
+        other.add_many(shuffled)
+        assert forward.counts == other.counts
+        forward_summary = forward.summary(E2E_PERCENTILES)
+        other_summary = other.summary(E2E_PERCENTILES)
+        assert forward_summary["count"] == other_summary["count"]
+        assert forward_summary["max"] == other_summary["max"]
+        for p in E2E_PERCENTILES:
+            key = f"p{f'{p:g}'.replace('.', '')}"
+            assert forward_summary[key] == other_summary[key]
+        assert forward_summary["mean"] == pytest.approx(
+            other_summary["mean"], rel=1e-9
+        )
+
+    def test_summary_matches_percentile_method(self):
+        hist = LatencyHistogram()
+        hist.add_many([0.01 * (i + 1) for i in range(500)])
+        summary = hist.summary(E2E_PERCENTILES)
+        for p in E2E_PERCENTILES:
+            key = f"p{f'{p:g}'.replace('.', '')}"
+            assert summary[key] == hist.percentile(p)
+
+
+# ---------------------------------------------------------------------------
+# Chunked arrival synthesis: byte-identical sequences, any chunk size
+# ---------------------------------------------------------------------------
+#: SHA-256 over the fully materialised (src, dst, tx_id, size, submitted_at)
+#: arrival sequence of the reference spec below -- recorded from the
+#: pre-chunking per-Tx client path. The fast path must reproduce it bit
+#: for bit; a change here means simulated behaviour moved.
+ARRIVAL_DIGEST = "7c3bc064f00a0d4c598609250a120674561040e8837c98a322e1c6a6e85463f7"
+ARRIVAL_TXS = 1939
+
+
+def digest_spec():
+    return WorkloadSpec(
+        classes=(
+            ClientClassSpec(name="mobile", population=40_000,
+                            rate_per_user=0.004,
+                            mmpp=((0.5, 2.0), (2.0, 1.0))),
+            ClientClassSpec(name="api", population=10_000,
+                            rate_per_user=0.01),
+        ),
+        keyspace=64,
+        zipf_s=1.0,
+        capacity_txs=200,
+        policy="drop",
+    )
+
+
+def run_arrival_capture(duration, seed=3):
+    """Digest of the materialised client arrival stream plus the workload
+    summary, under whatever REPRO_INGEST_CHUNK is currently set."""
+    from repro.core.smr import CLIENT_TX_TAG
+
+    spec = digest_spec()
+    config = ProtocolConfig()
+    cluster = Cluster(
+        n=7, mode="kauri", scenario="national", config=config, seed=seed,
+        workload_factory=make_workload_factory(spec, config),
+    )
+    harness = WorkloadHarness(cluster, spec, seed=seed)
+    seen = []
+
+    def observer(kind, msg, time):
+        if (kind == "send" and msg.tag == CLIENT_TX_TAG
+                and isinstance(msg.payload, list)):
+            for item in msg.payload:
+                txs = (item.materialize() if isinstance(item, TxChunk)
+                       else [item])
+                for tx in txs:
+                    seen.append((msg.src, msg.dst, tx.tx_id, tx.size,
+                                 round(tx.submitted_at, 9)))
+
+    cluster.network.observers.append(observer)
+    cluster.start()
+    harness.start()
+    cluster.run(duration=duration)
+    digest = hashlib.sha256(repr(seen).encode()).hexdigest()
+    return digest, len(seen), harness.summary()
+
+
+@pytest.fixture
+def chunk_env(monkeypatch):
+    def set_chunk(value):
+        if value is None:
+            monkeypatch.delenv("REPRO_INGEST_CHUNK", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_INGEST_CHUNK", str(value))
+    return set_chunk
+
+
+class TestChunkedArrivals:
+    def test_arrival_sequence_is_byte_identical_to_per_tx_path(self, chunk_env):
+        chunk_env(None)
+        digest, count, _ = run_arrival_capture(duration=8.0)
+        assert count == ARRIVAL_TXS
+        assert digest == ARRIVAL_DIGEST
+
+    def test_arrivals_and_summary_invariant_to_chunk_size(self, chunk_env):
+        results = {}
+        for chunk in (1, 7, None):
+            chunk_env(chunk)
+            digest, count, summary = run_arrival_capture(duration=3.0)
+            results[chunk] = (digest, count, summary)
+        baseline = results[None]
+        assert baseline[1] > 0
+        for chunk in (1, 7):
+            assert results[chunk] == baseline

@@ -169,3 +169,136 @@ class TestCrossBackendDeterminism:
         )
         for a, b in zip(serial, cached):
             assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+class TestCacheMaintenance:
+    """`repro cache stats|prune`: inventory and bounding of the on-disk
+    result cache, without ever touching live (current-schema) entries
+    unless age/size budgets demand it."""
+
+    @staticmethod
+    def _seed_cache(root, now):
+        import json as json_mod
+        import os
+
+        from repro.runtime.sweep import CACHE_SCHEMA
+
+        def put(name, payload, age_s):
+            path = root / name
+            path.write_text(payload)
+            os.utime(path, (now - age_s, now - age_s))
+            return path
+
+        put("old.json", json_mod.dumps({"schema": CACHE_SCHEMA, "x": "a" * 400}),
+            age_s=10 * 86400)
+        put("fresh.json", json_mod.dumps({"schema": CACHE_SCHEMA, "x": "b" * 400}),
+            age_s=3600)
+        put("stale.json", json_mod.dumps({"schema": CACHE_SCHEMA - 1}),
+            age_s=7200)
+        put("broken.json", "{not json", age_s=7200)
+        put("partial.tmp", "x" * 50, age_s=60)
+
+    def test_stats_inventories_without_modifying(self, tmp_path):
+        import time
+
+        from repro.runtime.sweep import cache_stats
+
+        now = time.time()
+        self._seed_cache(tmp_path, now)
+        stats = cache_stats(root=tmp_path, now=now)
+        assert stats.entries == 4
+        assert stats.stale == 1
+        assert stats.corrupt == 1
+        assert stats.tmp_files == 1
+        assert stats.oldest_age_s == pytest.approx(10 * 86400, rel=0.01)
+        assert stats.newest_age_s == pytest.approx(3600, rel=0.01)
+        assert len(list(tmp_path.iterdir())) == 5  # nothing removed
+
+    def test_stats_on_missing_directory_is_empty(self, tmp_path):
+        from repro.runtime.sweep import cache_stats
+
+        stats = cache_stats(root=tmp_path / "nope")
+        assert stats.entries == 0 and stats.size_bytes == 0
+
+    def test_prune_removes_tmp_stale_and_corrupt(self, tmp_path):
+        import time
+
+        from repro.runtime.sweep import cache_stats, prune_cache
+
+        now = time.time()
+        self._seed_cache(tmp_path, now)
+        result = prune_cache(root=tmp_path, now=now)
+        assert result.removed == 3  # tmp + stale + corrupt
+        assert result.kept == 2
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {"old.json", "fresh.json"}
+        after = cache_stats(root=tmp_path, now=now)
+        assert after.stale == 0 and after.corrupt == 0 and after.tmp_files == 0
+
+    def test_prune_by_age_keeps_recent_entries(self, tmp_path):
+        import time
+
+        from repro.runtime.sweep import prune_cache
+
+        now = time.time()
+        self._seed_cache(tmp_path, now)
+        result = prune_cache(root=tmp_path, max_age_days=7, now=now)
+        assert result.kept == 1
+        assert (tmp_path / "fresh.json").exists()
+        assert not (tmp_path / "old.json").exists()
+
+    def test_prune_by_size_drops_oldest_first(self, tmp_path):
+        import time
+
+        from repro.runtime.sweep import prune_cache
+
+        now = time.time()
+        self._seed_cache(tmp_path, now)
+        # Both survivors are ~420 bytes; a 0.0005 MB budget (500 bytes)
+        # forces the oldest one out and keeps the newest.
+        result = prune_cache(root=tmp_path, max_size_mb=0.0005, now=now)
+        assert (tmp_path / "fresh.json").exists()
+        assert not (tmp_path / "old.json").exists()
+        assert result.kept == 1
+
+    def test_prune_dry_run_deletes_nothing(self, tmp_path):
+        import time
+
+        from repro.runtime.sweep import prune_cache
+
+        now = time.time()
+        self._seed_cache(tmp_path, now)
+        before = sorted(p.name for p in tmp_path.iterdir())
+        result = prune_cache(root=tmp_path, dry_run=True, now=now)
+        assert result.removed == 3
+        assert sorted(p.name for p in tmp_path.iterdir()) == before
+
+    def test_keep_stale_preserves_old_schema_entries(self, tmp_path):
+        import time
+
+        from repro.runtime.sweep import prune_cache
+
+        now = time.time()
+        self._seed_cache(tmp_path, now)
+        result = prune_cache(root=tmp_path, drop_stale=False, now=now)
+        assert result.removed == 1  # only the .tmp leftover
+        assert (tmp_path / "stale.json").exists()
+        assert (tmp_path / "broken.json").exists()
+
+    def test_prune_composes_with_live_result_cache(self, tmp_path):
+        """Entries written by ResultCache survive a default prune and are
+        still served afterwards."""
+        from repro.runtime.sweep import prune_cache
+
+        runner = SweepRunner(
+            jobs=1, backend="serial", cache=True, cache_dir=tmp_path
+        )
+        first = runner.run(GRID[:1])
+        result = prune_cache(root=tmp_path)
+        assert result.removed == 0 and result.kept == 1
+        replay = SweepRunner(
+            jobs=1, backend="serial", cache=True, cache_dir=tmp_path
+        )
+        again = replay.run(GRID[:1])
+        assert replay.last_stats.cache_hits == 1
+        assert dataclasses.asdict(first[0]) == dataclasses.asdict(again[0])
